@@ -1,0 +1,93 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Scale control: HG_SCALE=quick (default) runs ~23 s streams; HG_SCALE=paper
+// runs the paper's full ~180 s streams (93 windows). Either way the binary
+// prints the same series the paper's figure shows.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "metrics/table.hpp"
+
+namespace hg::bench {
+
+struct Scale {
+  std::size_t nodes = 270;
+  std::uint32_t windows = 12;    // ~23 s of stream
+  double grid_max_sec = 40.0;    // lag axis of the CDF plots
+  std::size_t grid_steps = 21;
+  sim::SimTime tail = sim::SimTime::sec(45.0);
+};
+
+inline Scale scale_from_env() {
+  Scale s;
+  const char* env = std::getenv("HG_SCALE");
+  if (env != nullptr && std::strcmp(env, "paper") == 0) {
+    s.windows = 93;  // ~180 s, the paper's run length
+    s.grid_max_sec = 60.0;
+    s.grid_steps = 25;
+    s.tail = sim::SimTime::sec(65.0);
+  }
+  return s;
+}
+
+inline scenario::ExperimentConfig base_config(const Scale& s, core::Mode mode,
+                                              scenario::BandwidthDistribution dist,
+                                              double fanout = 7.0,
+                                              std::uint64_t seed = 2009) {
+  scenario::ExperimentConfig cfg;
+  cfg.node_count = s.nodes;
+  cfg.stream_windows = s.windows;
+  cfg.tail = s.tail;
+  cfg.mode = mode;
+  cfg.fanout = fanout;
+  cfg.distribution = std::move(dist);
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Runs with a progress note on stderr (stdout carries only the tables).
+inline std::unique_ptr<scenario::Experiment> run(scenario::ExperimentConfig cfg,
+                                                 const char* label) {
+  std::fprintf(stderr, "[bench] running %-28s (%s, %zu nodes, %u windows)...\n", label,
+               cfg.mode == core::Mode::kHeap ? "HEAP" : "standard", cfg.node_count,
+               cfg.stream_windows);
+  auto exp = std::make_unique<scenario::Experiment>(std::move(cfg));
+  exp->run();
+  return exp;
+}
+
+inline std::vector<double> lag_grid(const Scale& s) {
+  return metrics::Cdf::uniform_grid(s.grid_max_sec, s.grid_steps);
+}
+
+inline void print_header(const char* what, const char* paper_ref,
+                         const char* paper_observation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("  reproduces : %s\n", paper_ref);
+  std::printf("  paper shape: %s\n", paper_observation);
+  std::printf("==============================================================\n\n");
+}
+
+inline void print_class_table(const char* title,
+                              const std::vector<const char*>& col_names,
+                              const std::vector<std::vector<scenario::ClassStat>>& cols) {
+  std::printf("%s\n", title);
+  std::vector<std::string> headers{"class", "nodes"};
+  for (const auto* n : col_names) headers.emplace_back(n);
+  metrics::Table t(headers);
+  for (std::size_t c = 0; c < cols[0].size(); ++c) {
+    std::vector<std::string> row{cols[0][c].class_name, std::to_string(cols[0][c].nodes)};
+    for (const auto& col : cols) row.push_back(metrics::Table::pct(col[c].value));
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace hg::bench

@@ -1,0 +1,35 @@
+// Fig. 4 — average upload bandwidth usage by capability class, standard
+// gossip vs HEAP, on ref-691 (4a) and ms-691 (4b).
+#include "bench_common.hpp"
+
+namespace {
+
+void one_distribution(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
+                      const char* fig) {
+  using namespace hg;
+  using namespace hg::bench;
+  auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "fig4-standard");
+  auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "fig4-heap");
+
+  std::printf("Fig. %s (%s): mean upload usage (incl. protocol overhead)\n", fig,
+              dist.name().c_str());
+  print_class_table("", {"standard gossip", "HEAP"},
+                    {scenario::usage_by_class(*std_exp), scenario::usage_by_class(*heap_exp)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  const Scale s = scale_from_env();
+  print_header("Fig. 4: bandwidth usage by class, standard vs HEAP",
+               "Figures 4a (ref-691) and 4b (ms-691)",
+               "std: poor ~88%, rich under-used (55.8% ref / 40.8% ms); "
+               "HEAP: all classes roughly equal (~70-80%)");
+
+  one_distribution(s, scenario::BandwidthDistribution::ref691(), "4a");
+  one_distribution(s, scenario::BandwidthDistribution::ms691(), "4b");
+  return 0;
+}

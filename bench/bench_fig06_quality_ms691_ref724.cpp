@@ -1,0 +1,35 @@
+// Fig. 6 — stream quality by class at 10 s lag on ms-691 (6a) and ref-724
+// (6b), standard gossip vs HEAP.
+#include "bench_common.hpp"
+
+namespace {
+
+void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
+         const char* fig) {
+  using namespace hg;
+  using namespace hg::bench;
+  auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "fig6-standard");
+  auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "fig6-heap");
+  std::printf("Fig. %s (%s): jitter-free share of windows at 10 s lag\n", fig,
+              dist.name().c_str());
+  print_class_table("", {"standard gossip", "HEAP"},
+                    {scenario::jitter_free_pct_by_class(*std_exp, 10.0),
+                     scenario::jitter_free_pct_by_class(*heap_exp, 10.0)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  const Scale s = scale_from_env();
+  print_header("Fig. 6: jitter-free window share by class at 10 s lag",
+               "Figures 6a (ms-691) and 6b (ref-724)",
+               "6a: std rich nodes <33%, HEAP all classes >95%; "
+               "6b: std poor 47% -> HEAP 93%");
+
+  one(s, scenario::BandwidthDistribution::ms691(), "6a");
+  one(s, scenario::BandwidthDistribution::ref724(), "6b");
+  return 0;
+}

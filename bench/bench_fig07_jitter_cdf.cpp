@@ -1,0 +1,41 @@
+// Fig. 7 — cumulative distribution of nodes vs experienced jitter (% of
+// jittered windows) on ref-691: std gossip and HEAP, each at 10 s lag and
+// offline viewing.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  const Scale s = scale_from_env();
+  print_header("Fig. 7: CDF of experienced jitter (ref-691)",
+               "Figure 7",
+               "HEAP @10 s lag: 93% of nodes under 10% jitter; std @10 s: most "
+               "windows jittered; offline both recover");
+
+  const auto dist = scenario::BandwidthDistribution::ref691();
+  auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "fig7-standard");
+  auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "fig7-heap");
+
+  const auto grid = metrics::Cdf::uniform_grid(100.0, 21);  // jitter % axis
+  const auto series = std::vector<std::vector<metrics::CdfPoint>>{
+      scenario::cdf_over_grid(scenario::jitter_percent_at_lag(*std_exp, 10.0), grid,
+                              std_exp->receivers()),
+      scenario::cdf_over_grid(scenario::jitter_percent_offline(*std_exp), grid,
+                              std_exp->receivers()),
+      scenario::cdf_over_grid(scenario::jitter_percent_at_lag(*heap_exp, 10.0), grid,
+                              heap_exp->receivers()),
+      scenario::cdf_over_grid(scenario::jitter_percent_offline(*heap_exp), grid,
+                              heap_exp->receivers()),
+  };
+  std::printf("%s\n", metrics::render_cdf_table("jitter (%)",
+                                                {"std 10s lag", "std offline",
+                                                 "HEAP 10s lag", "HEAP offline"},
+                                                series)
+                          .c_str());
+
+  const auto heap10 = scenario::jitter_percent_at_lag(*heap_exp, 10.0);
+  std::printf("HEAP @10 s: %.0f%% of nodes experience <= 10%% jitter\n",
+              heap10.fraction_at_most(10.0) * 100.0);
+  return 0;
+}

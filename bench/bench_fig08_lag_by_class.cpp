@@ -1,0 +1,43 @@
+// Fig. 8 — average stream lag needed for a fully jitter-free stream, by
+// capability class, on ref-691 (8a) and ms-691 (8b).
+#include "bench_common.hpp"
+
+namespace {
+
+void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
+         const char* fig, double cap_sec) {
+  using namespace hg;
+  using namespace hg::bench;
+  auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "fig8-standard");
+  auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "fig8-heap");
+
+  const auto std_lag = scenario::mean_lag_to_jitter_free_by_class(*std_exp, cap_sec);
+  const auto heap_lag = scenario::mean_lag_to_jitter_free_by_class(*heap_exp, cap_sec);
+
+  std::printf("Fig. %s (%s): mean lag to a jitter-free stream (capped at %.0f s)\n", fig,
+              dist.name().c_str(), cap_sec);
+  metrics::Table t({"class", "nodes", "standard gossip", "HEAP"});
+  for (std::size_t c = 0; c < std_lag.size(); ++c) {
+    t.add_row({std_lag[c].class_name, std::to_string(std_lag[c].nodes),
+               metrics::Table::num(std_lag[c].value, 1) + " s",
+               metrics::Table::num(heap_lag[c].value, 1) + " s"});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  const Scale s = scale_from_env();
+  print_header("Fig. 8: mean stream lag for a jitter-free stream, by class",
+               "Figures 8a (ref-691) and 8b (ms-691)",
+               "HEAP cuts lag 40-60% on ref-691; on ms-691 the gap widens "
+               "further with the skew");
+
+  one(s, scenario::BandwidthDistribution::ref691(), "8a", s.grid_max_sec);
+  one(s, scenario::BandwidthDistribution::ms691(), "8b", s.grid_max_sec);
+  return 0;
+}

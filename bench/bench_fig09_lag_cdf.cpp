@@ -1,0 +1,50 @@
+// Fig. 9 — cumulative distribution of nodes vs the stream lag they need for
+// (a) a jitter-free stream and (b) at most 1% jitter, std gossip vs HEAP,
+// on ref-691 (9a) and ms-691 (9b).
+#include "bench_common.hpp"
+
+namespace {
+
+void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
+         const char* fig) {
+  using namespace hg;
+  using namespace hg::bench;
+  auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "fig9-standard");
+  auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "fig9-heap");
+
+  const auto grid = lag_grid(s);
+  const std::vector<std::vector<metrics::CdfPoint>> series{
+      scenario::cdf_over_grid(scenario::jitter_free_lags(*std_exp, 0.0), grid,
+                              std_exp->receivers()),
+      scenario::cdf_over_grid(scenario::jitter_free_lags(*std_exp, 0.01), grid,
+                              std_exp->receivers()),
+      scenario::cdf_over_grid(scenario::jitter_free_lags(*heap_exp, 0.0), grid,
+                              heap_exp->receivers()),
+      scenario::cdf_over_grid(scenario::jitter_free_lags(*heap_exp, 0.01), grid,
+                              heap_exp->receivers()),
+  };
+  std::printf("Fig. %s (%s): CDF of lag needed per jitter budget\n", fig,
+              dist.name().c_str());
+  std::printf("%s\n", metrics::render_cdf_table("lag (s)",
+                                                {"std no jitter", "std <=1% jitter",
+                                                 "HEAP no jitter", "HEAP <=1% jitter"},
+                                                series)
+                          .c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  const Scale s = scale_from_env();
+  print_header("Fig. 9: lag CDFs (no-jitter and <=1% jitter)",
+               "Figures 9a (ref-691) and 9b (ms-691)",
+               "ref-691: HEAP reaches 80% of nodes jitter-free at 12 s where "
+               "std needs 26.6 s");
+
+  one(s, scenario::BandwidthDistribution::ref691(), "9a");
+  one(s, scenario::BandwidthDistribution::ms691(), "9b");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: GF(256)
+// Reed-Solomon coding, event-queue churn, wire serialization, and the
+// aggregation estimator.
+#include <benchmark/benchmark.h>
+
+#include "aggregation/freshness_aggregator.hpp"
+#include "common/rng.hpp"
+#include "fec/window_codec.hpp"
+#include "gossip/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace hg;
+
+void BM_FecEncodeWindow(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  fec::WindowCodec codec({.data_per_window = k, .parity_per_window = m,
+                          .packet_bytes = 1316});
+  Rng rng(1);
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(1316));
+  for (auto& p : data) {
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode_window(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * 1316));
+}
+BENCHMARK(BM_FecEncodeWindow)->Args({101, 9})->Args({50, 5})->Args({16, 4});
+
+void BM_FecDecodeWindow(benchmark::State& state) {
+  const std::size_t k = 101, m = 9;
+  const auto erasures = static_cast<std::size_t>(state.range(0));
+  fec::WindowCodec codec({.data_per_window = k, .parity_per_window = m,
+                          .packet_bytes = 1316});
+  Rng rng(2);
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(1316));
+  for (auto& p : data) {
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  auto parity = codec.encode_window(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(k + m);
+  for (std::size_t i = 0; i < k; ++i) received[i] = data[i];
+  for (std::size_t i = 0; i < m; ++i) received[k + i] = parity[i];
+  std::vector<std::uint32_t> drop;
+  rng.sample_indices(k, erasures, drop);  // erase data packets (worst case)
+  for (auto d : drop) received[d].reset();
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode_window(received));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * 1316));
+}
+BENCHMARK(BM_FecDecodeWindow)->Arg(0)->Arg(1)->Arg(5)->Arg(9);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < batch; ++i) {
+      sim.after_fire_and_forget(sim::SimTime::us(i % 1000), [] {});
+    }
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EventQueueCancellation(benchmark::State& state) {
+  // The retransmission pattern: schedule + cancel nearly everything.
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      handles.push_back(sim.after(sim::SimTime::us(i), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EventQueueCancellation);
+
+void BM_SerializePropose(benchmark::State& state) {
+  const auto ids_count = static_cast<std::size_t>(state.range(0));
+  gossip::ProposeMsg msg;
+  msg.sender = NodeId{7};
+  for (std::size_t i = 0; i < ids_count; ++i) {
+    msg.ids.emplace_back(static_cast<std::uint32_t>(i / 110),
+                         static_cast<std::uint16_t>(i % 110));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::encode(msg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SerializePropose)->Arg(11)->Arg(100);
+
+void BM_DeserializeServe(benchmark::State& state) {
+  auto payload = std::make_shared<const std::vector<std::uint8_t>>(1316, 0xab);
+  const auto buf = gossip::encode(gossip::ServeMsg{NodeId{1}, {gossip::EventId{3, 4}, payload}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::decode_serve(*buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf->size()));
+}
+BENCHMARK(BM_DeserializeServe);
+
+void BM_AggregationEstimate(benchmark::State& state) {
+  // Cost of computing b̄ over `range` known origins.
+  sim::Simulator sim(3);
+  net::NetworkFabric fabric(sim, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(1)),
+                            std::make_unique<net::NoLoss>());
+  membership::Directory dir(sim, membership::DetectionConfig{});
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+  aggregation::FreshnessAggregator agg(sim, fabric, *view, NodeId{0}, BitRate::kbps(512),
+                                       {});
+  fabric.register_node(NodeId{0}, BitRate::unlimited(), nullptr);
+  // Seed records directly through the wire path.
+  std::vector<gossip::CapabilityRecord> records;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    records.push_back({NodeId{i}, 512'000 + i, sim::SimTime::ms(i)});
+    if (records.size() == 10 || i + 1 == n) {
+      const auto bytes = gossip::encode(gossip::AggregationMsg{NodeId{i}, records});
+      agg.on_datagram(net::Datagram{NodeId{i}, NodeId{0}, net::MsgClass::kAggregation,
+                                    bytes});
+      records.clear();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.average_capability_bps());
+  }
+}
+BENCHMARK(BM_AggregationEstimate)->Arg(16)->Arg(270)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Table 1 — the input bandwidth distributions (ref-691, ref-724, ms-691)
+// with their capability supply ratios. Verifies the configured presets
+// against the paper's numbers; the other benches consume these presets.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  print_header("Table 1: upload capability distributions", "Table 1",
+               "ref-691: CSR 1.15; ref-724: CSR 1.20; ms-691: CSR 1.15 with "
+               "85% of nodes below the stream rate");
+
+  const double stream_kbps = stream::StreamConfig{}.effective_rate_kbps();
+  metrics::Table t({"name", "CSR", "average", "class", "capability", "fraction"});
+  for (const auto& dist :
+       {scenario::BandwidthDistribution::ref691(), scenario::BandwidthDistribution::ref724(),
+        scenario::BandwidthDistribution::ms691()}) {
+    bool first = true;
+    for (const auto& cls : dist.classes()) {
+      t.add_row({first ? dist.name() : "",
+                 first ? metrics::Table::num(dist.csr(stream_kbps), 2) : "",
+                 first ? metrics::Table::num(dist.average_kbps(), 0) + " kbps" : "",
+                 cls.name, to_string(cls.capability),
+                 metrics::Table::num(cls.fraction, 2)});
+      first = false;
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("stream rate: %.0f kbps effective (551 kbps payload + 9/101 FEC)\n",
+              stream_kbps);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 3 — percentage of nodes receiving a completely jitter-free stream
+// per capability class (ref-691/ref-724 at 10 s lag; ms-691 at 20 s lag).
+#include "bench_common.hpp"
+
+namespace {
+
+void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
+         double lag_sec) {
+  using namespace hg;
+  using namespace hg::bench;
+  auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "table3-standard");
+  auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "table3-heap");
+  std::printf("%s (%.0f s lag): %% of nodes with a fully jitter-free stream\n",
+              dist.name().c_str(), lag_sec);
+  print_class_table("", {"standard gossip", "HEAP"},
+                    {scenario::jitter_free_nodes_pct_by_class(*std_exp, lag_sec),
+                     scenario::jitter_free_nodes_pct_by_class(*heap_exp, lag_sec)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace hg;
+  using namespace hg::bench;
+
+  const Scale s = scale_from_env();
+  print_header("Table 3: nodes receiving a jitter-free stream, by class",
+               "Table 3",
+               "std on ms-691 @20 s: 0/0/0%; HEAP: 84.6/89.7/85.7%. On ref-691 "
+               "@10 s std poor class: 0%, HEAP: 65.9%");
+
+  one(s, scenario::BandwidthDistribution::ref691(), 10.0);
+  one(s, scenario::BandwidthDistribution::ref724(), 10.0);
+  one(s, scenario::BandwidthDistribution::ms691(), 20.0);
+  return 0;
+}

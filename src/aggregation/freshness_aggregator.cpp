@@ -1,0 +1,84 @@
+#include "aggregation/freshness_aggregator.hpp"
+
+#include <algorithm>
+
+namespace hg::aggregation {
+
+FreshnessAggregator::FreshnessAggregator(sim::Simulator& simulator, net::NetworkFabric& fabric,
+                                         membership::LocalView& view, NodeId self,
+                                         BitRate own_capability, AggregationConfig config)
+    : sim_(simulator),
+      fabric_(fabric),
+      view_(view),
+      self_(self),
+      own_capability_(own_capability),
+      config_(config),
+      rng_(simulator.make_rng(0x41474752ULL ^ (std::uint64_t{self.value()} << 24))) {}
+
+void FreshnessAggregator::start() {
+  const auto phase = sim::SimTime::us(static_cast<std::int64_t>(
+      rng_.below(static_cast<std::uint64_t>(config_.period.as_us()))));
+  timer_ = sim_.every(phase, config_.period, [this]() { gossip_round(); });
+}
+
+void FreshnessAggregator::stop() { timer_.cancel(); }
+
+void FreshnessAggregator::gossip_round() {
+  // Assemble the freshest `records_per_gossip` records, own value first
+  // (refreshed to now — the node keeps advertising what it can do).
+  std::vector<gossip::CapabilityRecord> fresh;
+  fresh.reserve(config_.records_per_gossip);
+  fresh.push_back({self_, own_capability_.bits_per_sec(), sim_.now()});
+
+  std::vector<std::pair<sim::SimTime, NodeId>> by_age;
+  by_age.reserve(records_.size());
+  for (const auto& [origin, known] : records_) {
+    by_age.emplace_back(known.measured_at, origin);
+  }
+  const std::size_t want = config_.records_per_gossip - 1;
+  if (by_age.size() > want) {
+    std::partial_sort(by_age.begin(), by_age.begin() + static_cast<std::ptrdiff_t>(want),
+                      by_age.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
+    by_age.resize(want);
+  }
+  for (const auto& [ts, origin] : by_age) {
+    fresh.push_back({origin, records_[origin].capability_bps, ts});
+  }
+
+  const auto bytes = gossip::encode(gossip::AggregationMsg{self_, fresh});
+  view_.select_nodes(config_.fanout, targets_scratch_, rng_);
+  for (NodeId target : targets_scratch_) {
+    fabric_.send(self_, target, net::MsgClass::kAggregation, bytes);
+    ++stats_.gossips_sent;
+  }
+}
+
+void FreshnessAggregator::on_datagram(const net::Datagram& d) {
+  auto msg = gossip::decode_aggregation(*d.bytes);
+  if (!msg) return;
+  for (const gossip::CapabilityRecord& rec : msg->records) {
+    if (rec.origin == self_) continue;  // own value is authoritative locally
+    auto [it, inserted] = records_.try_emplace(rec.origin);
+    if (!inserted && it->second.measured_at >= rec.measured_at) {
+      ++stats_.records_stale_dropped;
+      continue;  // keep the fresher record
+    }
+    it->second.capability_bps = rec.capability_bps;
+    it->second.measured_at = rec.measured_at;
+    ++stats_.records_merged;
+  }
+}
+
+double FreshnessAggregator::average_capability_bps() const {
+  double sum = static_cast<double>(own_capability_.bits_per_sec());
+  std::size_t count = 1;
+  const sim::SimTime now = sim_.now();
+  for (const auto& [origin, known] : records_) {
+    if (now - known.measured_at > config_.record_expiry) continue;
+    sum += static_cast<double>(known.capability_bps);
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace hg::aggregation

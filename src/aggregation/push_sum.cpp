@@ -1,0 +1,68 @@
+#include "aggregation/push_sum.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "gossip/messages.hpp"
+
+namespace hg::aggregation {
+
+namespace {
+// Push-sum shares the kAggregation traffic class but uses its own tag-less
+// compact encoding prefixed with 0xf5 to stay out of the MsgTag space.
+constexpr std::uint8_t kPushSumTag = 0xf5;
+}  // namespace
+
+PushSumNode::PushSumNode(sim::Simulator& simulator, net::NetworkFabric& fabric,
+                         membership::LocalView& view, NodeId self, double initial_sum,
+                         double initial_weight, PushSumConfig config)
+    : sim_(simulator),
+      fabric_(fabric),
+      view_(view),
+      self_(self),
+      config_(config),
+      rng_(simulator.make_rng(0x50534d31ULL ^ (std::uint64_t{self.value()} << 24))),
+      sum_(initial_sum),
+      weight_(initial_weight) {}
+
+void PushSumNode::start() {
+  const auto phase = sim::SimTime::us(static_cast<std::int64_t>(
+      rng_.below(static_cast<std::uint64_t>(config_.period.as_us()))));
+  timer_ = sim_.every(phase, config_.period, [this]() { round(); });
+}
+
+void PushSumNode::stop() { timer_.cancel(); }
+
+void PushSumNode::round() {
+  view_.select_nodes(1, target_scratch_, rng_);
+  if (target_scratch_.empty()) return;
+  // Keep half, push half.
+  sum_ *= 0.5;
+  weight_ *= 0.5;
+  net::ByteWriter w(24);
+  w.u8(kPushSumTag);
+  w.u32(self_.value());
+  w.f64(sum_);
+  w.f64(weight_);
+  fabric_.send(self_, target_scratch_[0], net::MsgClass::kAggregation,
+               std::make_shared<const std::vector<std::uint8_t>>(w.take()));
+}
+
+void PushSumNode::on_datagram(const net::Datagram& d) {
+  net::ByteReader r(*d.bytes);
+  const auto tag = r.u8();
+  if (!tag || *tag != kPushSumTag) return;
+  const auto from = r.u32();
+  const auto s = r.f64();
+  const auto w = r.f64();
+  if (!from || !s || !w) return;
+  sum_ += *s;
+  weight_ += *w;
+}
+
+double PushSumNode::estimate() const {
+  if (weight_ < 1e-12) return std::numeric_limits<double>::quiet_NaN();
+  return sum_ / weight_;
+}
+
+}  // namespace hg::aggregation

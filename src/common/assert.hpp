@@ -1,0 +1,30 @@
+// Lightweight always-on assertion macro.
+//
+// Simulation correctness depends on invariants (event ordering, queue
+// conservation, matrix invertibility); these checks are cheap relative to
+// event processing, so they stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hg::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "HG_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace hg::detail
+
+#define HG_ASSERT(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::hg::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define HG_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::hg::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace hg::log {
+
+namespace {
+Level g_level = Level::kOff;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kError: return "ERROR";
+    case Level::kWarn: return "WARN ";
+    case Level::kInfo: return "INFO ";
+    case Level::kDebug: return "DEBUG";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+
+Level level() { return g_level; }
+
+void write(Level lvl, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", level_name(lvl));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hg::log

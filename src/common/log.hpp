@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (simulations emit millions of events); enable per
+// run with hg::log::set_level. Output goes to stderr so bench tables on
+// stdout stay machine-readable.
+#pragma once
+
+#include <cstdarg>
+
+namespace hg::log {
+
+enum class Level { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+void set_level(Level level);
+[[nodiscard]] Level level();
+
+void write(Level level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace hg::log
+
+#define HG_LOG_ERROR(...)                                             \
+  do {                                                                \
+    if (::hg::log::level() >= ::hg::log::Level::kError)               \
+      ::hg::log::write(::hg::log::Level::kError, __VA_ARGS__);        \
+  } while (false)
+#define HG_LOG_WARN(...)                                              \
+  do {                                                                \
+    if (::hg::log::level() >= ::hg::log::Level::kWarn)                \
+      ::hg::log::write(::hg::log::Level::kWarn, __VA_ARGS__);         \
+  } while (false)
+#define HG_LOG_INFO(...)                                              \
+  do {                                                                \
+    if (::hg::log::level() >= ::hg::log::Level::kInfo)                \
+      ::hg::log::write(::hg::log::Level::kInfo, __VA_ARGS__);         \
+  } while (false)
+#define HG_LOG_DEBUG(...)                                             \
+  do {                                                                \
+    if (::hg::log::level() >= ::hg::log::Level::kDebug)               \
+      ::hg::log::write(::hg::log::Level::kDebug, __VA_ARGS__);        \
+  } while (false)

@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hg {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  HG_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::fork(std::uint64_t stream_tag) const {
+  std::uint64_t sm = seed_ ^ (0xa0761d6478bd642fULL + stream_tag * 0xe7037ed1a0b428dbULL);
+  return Rng(splitmix64(sm));
+}
+
+void Rng::sample_indices(std::size_t n, std::size_t k, std::vector<std::uint32_t>& out) {
+  HG_ASSERT(k <= n);
+  out.clear();
+  if (k == 0) return;
+  // For small k relative to n, rejection sampling beats building a pool.
+  if (k * 8 < n) {
+    out.reserve(k);
+    while (out.size() < k) {
+      auto candidate = static_cast<std::uint32_t>(below(n));
+      bool dup = false;
+      for (auto v : out) {
+        if (v == candidate) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.push_back(candidate);
+    }
+    return;
+  }
+  pool_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pool_[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + below(n - i);
+    std::swap(pool_[i], pool_[j]);
+  }
+  out.assign(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+}  // namespace hg

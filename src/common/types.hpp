@@ -1,0 +1,38 @@
+// Fundamental identifier types shared by every subsystem.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace hg {
+
+// Identifies a node (peer) in the system. The stream source is a node too.
+// Strong type: implicit conversion from integers is not allowed, so a NodeId
+// can never be confused with a fanout, an index or a count.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t value_ = kInvalid;
+};
+
+inline constexpr NodeId kInvalidNode{};
+
+}  // namespace hg
+
+template <>
+struct std::hash<hg::NodeId> {
+  std::size_t operator()(hg::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

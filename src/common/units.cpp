@@ -1,0 +1,19 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace hg {
+
+std::string to_string(BitRate r) {
+  if (r.is_unlimited()) return "unlimited";
+  char buf[32];
+  const double k = r.kbits_per_sec();
+  if (k >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.4g Mbps", k / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g kbps", k);
+  }
+  return buf;
+}
+
+}  // namespace hg

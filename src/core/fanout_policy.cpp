@@ -1,0 +1,38 @@
+#include "core/fanout_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hg::core {
+
+AdaptiveFanout::AdaptiveFanout(BitRate own_capability,
+                               const aggregation::CapabilityEstimator* estimator,
+                               AdaptiveFanoutConfig config)
+    : own_capability_(own_capability), estimator_(estimator), config_(config) {
+  HG_ASSERT(estimator_ != nullptr);
+  HG_ASSERT(config_.base_fanout >= 0.0);
+}
+
+double AdaptiveFanout::current_target() const {
+  const double avg = estimator_->average_capability_bps();
+  if (avg <= 0.0) return config_.base_fanout;  // no estimate yet: behave like std gossip
+  const double ratio = static_cast<double>(own_capability_.bits_per_sec()) / avg;
+  return std::clamp(config_.base_fanout * ratio, config_.min_fanout, config_.max_fanout);
+}
+
+std::size_t AdaptiveFanout::fanout_for_round(Rng& rng) {
+  const double target = current_target();
+  const double base = std::floor(target);
+  const double frac = target - base;
+  switch (config_.rounding) {
+    case FanoutRounding::kFloor:
+      return static_cast<std::size_t>(base);
+    case FanoutRounding::kRandomized:
+      break;
+  }
+  return static_cast<std::size_t>(base) + (rng.chance(frac) ? 1 : 0);
+}
+
+}  // namespace hg::core

@@ -1,0 +1,46 @@
+// HEAP's contribution: the capability-proportional fanout rule
+//
+//     f_p = f * b_p / b̄        (paper §2.2, Equation 1 + aggregation)
+//
+// where b_p is the node's own upload capability and b̄ the continuously
+// gossip-estimated average capability. The system-wide mean fanout stays f,
+// preserving the ln(n)+c reliability threshold [15] while shifting serve
+// load onto capable nodes.
+#pragma once
+
+#include "aggregation/freshness_aggregator.hpp"
+#include "common/units.hpp"
+#include "gossip/fanout_policy.hpp"
+
+namespace hg::core {
+
+enum class FanoutRounding {
+  kRandomized,  // floor(f)+Bernoulli(frac): exact in expectation (default)
+  kFloor,       // biased low — ablation shows the reliability cost
+};
+
+struct AdaptiveFanoutConfig {
+  double base_fanout = 7.0;   // the system-wide average f
+  double max_fanout = 64.0;   // safety cap (also ablation knob)
+  double min_fanout = 0.0;    // HEAP lets very poor nodes drop below 1
+  FanoutRounding rounding = FanoutRounding::kRandomized;
+};
+
+class AdaptiveFanout final : public gossip::FanoutPolicy {
+ public:
+  // `own_capability` b_p; `estimator` supplies b̄ each round (never null).
+  AdaptiveFanout(BitRate own_capability, const aggregation::CapabilityEstimator* estimator,
+                 AdaptiveFanoutConfig config);
+
+  std::size_t fanout_for_round(Rng& rng) override;
+  [[nodiscard]] double current_target() const override;
+
+  void set_own_capability(BitRate capability) { own_capability_ = capability; }
+
+ private:
+  BitRate own_capability_;
+  const aggregation::CapabilityEstimator* estimator_;
+  AdaptiveFanoutConfig config_;
+};
+
+}  // namespace hg::core

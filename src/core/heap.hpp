@@ -1,0 +1,41 @@
+// Public umbrella header for the heapgossip library.
+//
+// Quick tour (see examples/quickstart.cpp for a runnable version):
+//
+//   hg::scenario::ExperimentConfig cfg;
+//   cfg.node_count   = 270;
+//   cfg.mode         = hg::core::Mode::kHeap;      // or kStandard
+//   cfg.distribution = hg::scenario::BandwidthDistribution::ms691();
+//   hg::scenario::Experiment exp(cfg);
+//   exp.run();
+//   auto lag = hg::scenario::jitter_free_lags(exp, /*max_jitter=*/0.0);
+//
+// Layers, bottom to top:
+//   sim          deterministic discrete-event kernel
+//   net          serialization, latency/loss, upload-rate limiting, fabric
+//   membership   full-view directory + Cyclon peer sampling
+//   fec          GF(256) systematic Reed-Solomon windows
+//   gossip       three-phase propose/request/serve dissemination
+//   aggregation  capability averaging (freshness gossip + push-sum)
+//   core         HEAP: adaptive fanout policy + node composition
+//   stream       source, player, lag/jitter analysis
+//   scenario     experiment runner + paper report builders
+#pragma once
+
+#include "aggregation/freshness_aggregator.hpp"
+#include "aggregation/push_sum.hpp"
+#include "core/fanout_policy.hpp"
+#include "core/heap_node.hpp"
+#include "fec/window_codec.hpp"
+#include "gossip/three_phase.hpp"
+#include "membership/cyclon.hpp"
+#include "membership/directory.hpp"
+#include "net/fabric.hpp"
+#include "scenario/distribution.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/report.hpp"
+#include "sim/simulator.hpp"
+#include "stream/lag_analyzer.hpp"
+#include "stream/player.hpp"
+#include "stream/source.hpp"
+#include "tree/static_tree.hpp"

@@ -1,0 +1,51 @@
+#include "core/heap_node.hpp"
+
+namespace hg::core {
+
+HeapNode::HeapNode(sim::Simulator& simulator, net::NetworkFabric& fabric,
+                   membership::Directory& directory, NodeId self, NodeConfig config)
+    : self_(self), config_(config), view_(directory.make_view(self)) {
+  if (config_.mode == Mode::kHeap) {
+    aggregator_ = std::make_unique<aggregation::FreshnessAggregator>(
+        simulator, fabric, *view_, self, config_.capability, config_.aggregation);
+    policy_ = std::make_unique<AdaptiveFanout>(
+        config_.capability, aggregator_.get(),
+        AdaptiveFanoutConfig{.base_fanout = config_.gossip.base_fanout,
+                             .max_fanout = config_.max_fanout,
+                             .min_fanout = 0.0,
+                             .rounding = config_.rounding});
+  } else {
+    policy_ = std::make_unique<gossip::FixedFanout>(config_.gossip.base_fanout);
+  }
+  gossip_ = std::make_unique<gossip::ThreePhaseGossip>(simulator, fabric, *view_, self,
+                                                       config_.gossip, *policy_);
+}
+
+void HeapNode::start() {
+  gossip_->start();
+  if (aggregator_) aggregator_->start();
+}
+
+void HeapNode::stop() {
+  gossip_->stop();
+  if (aggregator_) aggregator_->stop();
+}
+
+void HeapNode::on_datagram(const net::Datagram& d) {
+  const auto tag = gossip::peek_tag(*d.bytes);
+  if (!tag) return;
+  switch (*tag) {
+    case gossip::MsgTag::kPropose:
+    case gossip::MsgTag::kRequest:
+    case gossip::MsgTag::kServe:
+      gossip_->on_datagram(d);
+      break;
+    case gossip::MsgTag::kAggregation:
+      if (aggregator_) aggregator_->on_datagram(d);
+      break;
+    default:
+      break;  // other protocols (cyclon, tree) are wired separately
+  }
+}
+
+}  // namespace hg::core

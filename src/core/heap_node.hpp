@@ -1,0 +1,78 @@
+// A full protocol node: three-phase gossip + (for HEAP) the capability
+// aggregation protocol and the adaptive fanout policy wired together.
+//
+// The same class runs both protocols of the paper's evaluation:
+//   Mode::kStandard — fixed fanout f, no aggregation  (the baseline)
+//   Mode::kHeap     — aggregation estimates b̄, fanout = f * b_p/b̄
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "aggregation/freshness_aggregator.hpp"
+#include "core/fanout_policy.hpp"
+#include "gossip/three_phase.hpp"
+#include "membership/directory.hpp"
+#include "net/fabric.hpp"
+
+namespace hg::core {
+
+enum class Mode { kStandard, kHeap };
+
+struct NodeConfig {
+  Mode mode = Mode::kHeap;
+  // Declared upload capability b_p: what the node advertises through the
+  // aggregation protocol and uses for its own fanout. (The enforced link
+  // rate lives in the network fabric; declared == enforced unless a test
+  // deliberately lies, e.g. to model freeriders.)
+  BitRate capability = BitRate::unlimited();
+  gossip::GossipConfig gossip;
+  aggregation::AggregationConfig aggregation;
+  double max_fanout = 64.0;
+  FanoutRounding rounding = FanoutRounding::kRandomized;
+};
+
+class HeapNode {
+ public:
+  HeapNode(sim::Simulator& simulator, net::NetworkFabric& fabric,
+           membership::Directory& directory, NodeId self, NodeConfig config);
+
+  // Non-movable: the fabric holds a callback bound to `this`.
+  HeapNode(const HeapNode&) = delete;
+  HeapNode& operator=(const HeapNode&) = delete;
+
+  void start();
+  void stop();
+
+  // Routes an incoming datagram to the owning protocol by message tag.
+  void on_datagram(const net::Datagram& d);
+
+  // Source role: publish an event into the dissemination.
+  void publish(gossip::Event event) { gossip_->publish(std::move(event)); }
+
+  void set_deliver(gossip::ThreePhaseGossip::DeliverFn fn) {
+    gossip_->set_deliver(std::move(fn));
+  }
+  void set_should_request(gossip::ThreePhaseGossip::ShouldRequestFn fn) {
+    gossip_->set_should_request(std::move(fn));
+  }
+
+  [[nodiscard]] NodeId id() const { return self_; }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] gossip::ThreePhaseGossip& gossip() { return *gossip_; }
+  [[nodiscard]] const gossip::ThreePhaseGossip& gossip() const { return *gossip_; }
+  // Null in standard mode.
+  [[nodiscard]] aggregation::FreshnessAggregator* aggregator() { return aggregator_.get(); }
+  [[nodiscard]] gossip::FanoutPolicy& fanout_policy() { return *policy_; }
+  [[nodiscard]] membership::LocalView& view() { return *view_; }
+
+ private:
+  NodeId self_;
+  NodeConfig config_;
+  std::unique_ptr<membership::LocalView> view_;
+  std::unique_ptr<aggregation::FreshnessAggregator> aggregator_;  // HEAP only
+  std::unique_ptr<gossip::FanoutPolicy> policy_;
+  std::unique_ptr<gossip::ThreePhaseGossip> gossip_;
+};
+
+}  // namespace hg::core

@@ -1,0 +1,88 @@
+#include "fec/gf256.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::fec {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables tab{};
+    // Generator 3 (0x03) is primitive for polynomial 0x11b.
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      tab.exp[i] = x;
+      tab.log[x] = static_cast<std::uint8_t>(i);
+      // multiply x by 3 in GF(2^8): x*2 + x
+      const std::uint8_t x2 =
+          static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+      x = static_cast<std::uint8_t>(x2 ^ x);
+    }
+    for (int i = 255; i < 512; ++i) tab.exp[i] = tab.exp[i - 255];
+    tab.log[0] = 0;  // undefined; guarded by callers
+    tab.inv[0] = 0;
+    for (int i = 1; i < 256; ++i) {
+      tab.inv[i] = tab.exp[255 - tab.log[i]];
+    }
+    return tab;
+  }();
+  return t;
+}
+
+std::uint8_t GF256::mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) {
+  HG_ASSERT_MSG(b != 0, "division by zero in GF(256)");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) {
+  HG_ASSERT_MSG(a != 0, "zero has no inverse in GF(256)");
+  return tables().inv[a];
+}
+
+std::uint8_t GF256::pow(std::uint8_t a, unsigned power) {
+  if (power == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const unsigned e = (static_cast<unsigned>(t.log[a]) * power) % 255;
+  return t.exp[e];
+}
+
+std::uint8_t GF256::exp(unsigned power) { return tables().exp[power % 255]; }
+
+void GF256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          std::uint8_t coeff) {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned lc = t.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+void GF256::scale_slice(std::uint8_t* dst, std::size_t n, std::uint8_t coeff) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const Tables& t = tables();
+  const unsigned lc = t.log[coeff];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = dst[i];
+    dst[i] = (s == 0) ? 0 : t.exp[lc + t.log[s]];
+  }
+}
+
+}  // namespace hg::fec

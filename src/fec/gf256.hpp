@@ -1,0 +1,41 @@
+// Arithmetic over GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
+//
+// Log/antilog tables make multiply/divide O(1); mul_slice is the bulk
+// operation the Reed-Solomon coder spends its time in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hg::fec {
+
+class GF256 {
+ public:
+  [[nodiscard]] static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;  // characteristic 2: addition == subtraction == XOR
+  }
+  [[nodiscard]] static std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+  [[nodiscard]] static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+  [[nodiscard]] static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+  [[nodiscard]] static std::uint8_t inv(std::uint8_t a);
+  // a^power for non-negative exponents.
+  [[nodiscard]] static std::uint8_t pow(std::uint8_t a, unsigned power);
+  // The field generator (3 for this polynomial) raised to `power`.
+  [[nodiscard]] static std::uint8_t exp(unsigned power);
+
+  // dst[i] ^= coeff * src[i] — the row operation of encode and decode.
+  static void mul_add_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                            std::uint8_t coeff);
+  // dst[i] = coeff * dst[i]
+  static void scale_slice(std::uint8_t* dst, std::size_t n, std::uint8_t coeff);
+
+ private:
+  struct Tables {
+    std::uint8_t exp[512];  // doubled so mul needs no modulo
+    std::uint8_t log[256];
+    std::uint8_t inv[256];
+  };
+  static const Tables& tables();
+};
+
+}  // namespace hg::fec

@@ -1,0 +1,83 @@
+#include "fec/matrix.hpp"
+
+#include "fec/gf256.hpp"
+
+namespace hg::fec {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::size_t rows, std::size_t cols) {
+  HG_ASSERT_MSG(rows <= 255, "GF(256) Vandermonde needs distinct nonzero points");
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto point = static_cast<std::uint8_t>(r + 1);
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, GF256::pow(point, static_cast<unsigned>(c)));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  HG_ASSERT(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(r, k);
+      if (a == 0) continue;
+      GF256::mul_add_slice(out.row(r), other.row(k), other.cols_, a);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    HG_ASSERT(indices[i] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c) out.set(i, c, at(indices[i], c));
+  }
+  return out;
+}
+
+Matrix Matrix::inverted() const {
+  HG_ASSERT(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    HG_ASSERT_MSG(pivot < n, "matrix is singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.row(col)[c], work.row(pivot)[c]);
+        std::swap(inv.row(col)[c], inv.row(pivot)[c]);
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t p = work.at(col, col);
+    if (p != 1) {
+      const std::uint8_t pinv = GF256::inv(p);
+      GF256::scale_slice(work.row(col), n, pinv);
+      GF256::scale_slice(inv.row(col), n, pinv);
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      GF256::mul_add_slice(work.row(r), work.row(col), n, factor);
+      GF256::mul_add_slice(inv.row(r), inv.row(col), n, factor);
+    }
+  }
+  return inv;
+}
+
+}  // namespace hg::fec

@@ -1,0 +1,52 @@
+// Dense matrices over GF(256): just enough linear algebra for Reed-Solomon
+// (construction, multiplication, Gaussian inversion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hg::fec {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  // Vandermonde: a[r][c] = (r+1)^c. Any square submatrix built from distinct
+  // evaluation points is invertible — the property erasure codes rely on.
+  [[nodiscard]] static Matrix vandermonde(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const {
+    HG_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, std::uint8_t v) {
+    HG_ASSERT(r < rows_ && c < cols_);
+    data_[r * cols_ + c] = v;
+  }
+  [[nodiscard]] const std::uint8_t* row(std::size_t r) const { return &data_[r * cols_]; }
+  [[nodiscard]] std::uint8_t* row(std::size_t r) { return &data_[r * cols_]; }
+
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  // Returns a matrix made of the selected rows, in the given order.
+  [[nodiscard]] Matrix select_rows(const std::vector<std::size_t>& indices) const;
+  // Gauss-Jordan inverse. Asserts the matrix is square and invertible
+  // (callers only invert matrices that are invertible by construction).
+  [[nodiscard]] Matrix inverted() const;
+
+  [[nodiscard]] bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hg::fec

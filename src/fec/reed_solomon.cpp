@@ -1,0 +1,97 @@
+#include "fec/reed_solomon.hpp"
+
+#include "common/assert.hpp"
+#include "fec/gf256.hpp"
+
+namespace hg::fec {
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
+  HG_ASSERT(k >= 1 && m >= 1);
+  HG_ASSERT_MSG(k + m <= 255, "GF(256) supports at most 255 shards");
+  // E = V * inverse(V_top): top k rows become the identity while every
+  // k-row subset stays invertible (right-multiplication by an invertible
+  // matrix preserves the rank of any row selection).
+  const Matrix v = Matrix::vandermonde(k + m, k);
+  std::vector<std::size_t> top(k);
+  for (std::size_t i = 0; i < k; ++i) top[i] = i;
+  enc_ = v.multiply(v.select_rows(top).inverted());
+  // Sanity: systematic part must be the identity.
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      HG_ASSERT(enc_.at(r, c) == (r == c ? 1 : 0));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    std::span<const std::vector<std::uint8_t>> data) const {
+  HG_ASSERT(data.size() == k_);
+  const std::size_t shard_len = data[0].size();
+  for (const auto& d : data) HG_ASSERT_MSG(d.size() == shard_len, "shards must be equal size");
+
+  std::vector<std::vector<std::uint8_t>> parity(m_, std::vector<std::uint8_t>(shard_len, 0));
+  for (std::size_t p = 0; p < m_; ++p) {
+    const std::uint8_t* coeffs = enc_.row(k_ + p);
+    for (std::size_t d = 0; d < k_; ++d) {
+      GF256::mul_add_slice(parity[p].data(), data[d].data(), shard_len, coeffs[d]);
+    }
+  }
+  return parity;
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
+    std::span<const std::optional<std::vector<std::uint8_t>>> shards) const {
+  HG_ASSERT(shards.size() == k_ + m_);
+
+  // Fast path: all data shards present.
+  bool all_data = true;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (!shards[i].has_value()) {
+      all_data = false;
+      break;
+    }
+  }
+  if (all_data) {
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(k_);
+    for (std::size_t i = 0; i < k_; ++i) out.push_back(*shards[i]);
+    return out;
+  }
+
+  // Gather the first k present shards (data shards first keeps the system
+  // mostly-identity, so elimination touches fewer rows).
+  std::vector<std::size_t> rows;
+  rows.reserve(k_);
+  for (std::size_t i = 0; i < k_ + m_ && rows.size() < k_; ++i) {
+    if (shards[i].has_value()) rows.push_back(i);
+  }
+  if (rows.size() < k_) return std::nullopt;
+
+  std::size_t shard_len = 0;
+  for (const auto& s : shards) {
+    if (s.has_value()) {
+      shard_len = s->size();
+      break;
+    }
+  }
+  for (const auto& r : rows) HG_ASSERT(shards[r]->size() == shard_len);
+
+  const Matrix sub = enc_.select_rows(rows);
+  const Matrix inv = sub.inverted();
+
+  std::vector<std::vector<std::uint8_t>> out(k_);
+  for (std::size_t d = 0; d < k_; ++d) {
+    if (shards[d].has_value()) {
+      out[d] = *shards[d];  // present data shard: copy through
+      continue;
+    }
+    out[d].assign(shard_len, 0);
+    const std::uint8_t* coeffs = inv.row(d);
+    for (std::size_t j = 0; j < k_; ++j) {
+      GF256::mul_add_slice(out[d].data(), shards[rows[j]]->data(), shard_len, coeffs[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hg::fec

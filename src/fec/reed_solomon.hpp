@@ -1,0 +1,46 @@
+// Systematic Reed-Solomon erasure code over GF(256).
+//
+// Encoding matrix: the top k rows are the identity (shards 0..k-1 are the
+// data unchanged — *systematic* coding, which the paper relies on: a node
+// that cannot decode a window still plays the raw stream packets it did
+// receive); the bottom m rows make every k-subset of the n=k+m rows
+// invertible (Vandermonde construction, normalized so parity rows stay
+// independent together with identity rows).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fec/matrix.hpp"
+
+namespace hg::fec {
+
+class ReedSolomon {
+ public:
+  // k data shards, m parity shards; k + m <= 255.
+  ReedSolomon(std::size_t k, std::size_t m);
+
+  [[nodiscard]] std::size_t data_shards() const { return k_; }
+  [[nodiscard]] std::size_t parity_shards() const { return m_; }
+  [[nodiscard]] std::size_t total_shards() const { return k_ + m_; }
+
+  // data: k equally sized shards. Returns m parity shards of the same size.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::vector<std::uint8_t>> data) const;
+
+  // shards: n entries; missing ones empty/nullopt. Returns the k data shards
+  // if at least k shards are present, std::nullopt otherwise.
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> decode(
+      std::span<const std::optional<std::vector<std::uint8_t>>> shards) const;
+
+  [[nodiscard]] const Matrix& encoding_matrix() const { return enc_; }
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  Matrix enc_;  // (k+m) x k
+};
+
+}  // namespace hg::fec

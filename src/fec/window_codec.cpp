@@ -1,0 +1,25 @@
+#include "fec/window_codec.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::fec {
+
+WindowCodec::WindowCodec(WindowCodecConfig config)
+    : config_(config), rs_(config.data_per_window, config.parity_per_window) {
+  HG_ASSERT(config.packet_bytes > 0);
+}
+
+std::vector<std::vector<std::uint8_t>> WindowCodec::encode_window(
+    std::span<const std::vector<std::uint8_t>> data_packets) const {
+  HG_ASSERT(data_packets.size() == config_.data_per_window);
+  for (const auto& p : data_packets) HG_ASSERT(p.size() == config_.packet_bytes);
+  return rs_.encode(data_packets);
+}
+
+std::optional<std::vector<std::vector<std::uint8_t>>> WindowCodec::decode_window(
+    std::span<const std::optional<std::vector<std::uint8_t>>> received) const {
+  HG_ASSERT(received.size() == window_packets());
+  return rs_.decode(received);
+}
+
+}  // namespace hg::fec

@@ -1,0 +1,53 @@
+// FEC windowing for the streaming application.
+//
+// The paper's source groups 101 stream packets with 9 parity packets into a
+// 110-packet window (systematic code): a window is decodable from any 101 of
+// its 110 packets; because the code is systematic, even an undecodable
+// window yields every raw data packet that did arrive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fec/reed_solomon.hpp"
+
+namespace hg::fec {
+
+struct WindowCodecConfig {
+  std::size_t data_per_window = 101;
+  std::size_t parity_per_window = 9;
+  std::size_t packet_bytes = 1316;
+};
+
+class WindowCodec {
+ public:
+  explicit WindowCodec(WindowCodecConfig config);
+
+  [[nodiscard]] const WindowCodecConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t window_packets() const {
+    return config_.data_per_window + config_.parity_per_window;
+  }
+
+  // Encodes one window: input exactly data_per_window packets of
+  // packet_bytes each; returns the parity packets.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_window(
+      std::span<const std::vector<std::uint8_t>> data_packets) const;
+
+  // Attempts to decode a window from whichever packets arrived (indexed
+  // 0..window_packets-1, data first). Returns all data packets on success.
+  [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> decode_window(
+      std::span<const std::optional<std::vector<std::uint8_t>>> received) const;
+
+  // Decodability is purely a counting property for an MDS code.
+  [[nodiscard]] bool decodable(std::size_t packets_received) const {
+    return packets_received >= config_.data_per_window;
+  }
+
+ private:
+  WindowCodecConfig config_;
+  ReedSolomon rs_;
+};
+
+}  // namespace hg::fec

@@ -1,0 +1,40 @@
+// Configuration of the three-phase gossip dissemination (paper §2.1, §3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hg::gossip {
+
+struct GossipConfig {
+  // Gossip period between [Propose] rounds (paper: 200 ms, which batches
+  // ~11.26 packet ids per propose at the 600 kbps stream rate).
+  sim::SimTime period = sim::SimTime::ms(200);
+
+  // The system-wide average fanout target f = ln(n) + c (paper: 7 for 270
+  // nodes; ln(270) ~= 5.6). Individual per-round fanouts come from the
+  // FanoutPolicy, which must preserve this average.
+  double base_fanout = 7.0;
+
+  // Retransmission (Algorithm 2): a requested event not served within
+  // retransmit_period is re-requested from an alternate proposer.
+  sim::SimTime retransmit_period = sim::SimTime::ms(1000);
+  int max_retransmits = 8;
+
+  // The source proposes each published event immediately (Algorithm 1 line
+  // 5: publish -> gossip({e.id})); relaying nodes batch per period (line 6).
+  bool immediate_publish = true;
+
+  // State horizon: per-event bookkeeping (delivered payloads, proposer
+  // lists, requested flags) is garbage-collected once the event's window is
+  // this many windows behind the newest seen (40 windows ~= 77 s of stream,
+  // beyond the largest lag the paper plots).
+  std::uint32_t gc_window_horizon = 40;
+
+  // Keep at most this many distinct proposers per event as retransmission
+  // fallbacks.
+  std::size_t max_proposers_tracked = 8;
+};
+
+}  // namespace hg::gossip

@@ -1,0 +1,45 @@
+// Fanout selection — the knob HEAP turns.
+//
+// The dissemination engine asks its policy for a fanout before every gossip
+// round. Standard gossip answers a constant; HEAP answers
+// f * (own capability / estimated average capability), using randomized
+// rounding so fractional targets are met in expectation (core/fanout_policy).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace hg::gossip {
+
+class FanoutPolicy {
+ public:
+  virtual ~FanoutPolicy() = default;
+
+  // Number of peers to propose to in this round.
+  [[nodiscard]] virtual std::size_t fanout_for_round(Rng& rng) = 0;
+
+  // The current (possibly fractional) target, for introspection/metrics.
+  [[nodiscard]] virtual double current_target() const = 0;
+};
+
+// Standard homogeneous gossip: everyone uses the same fanout. Fractional
+// values are honored in expectation via randomized rounding so fanout
+// sweeps (Fig. 2) can use non-integer averages too.
+class FixedFanout final : public FanoutPolicy {
+ public:
+  explicit FixedFanout(double fanout) : fanout_(fanout) {}
+
+  std::size_t fanout_for_round(Rng& rng) override {
+    const auto base = static_cast<std::size_t>(fanout_);
+    const double frac = fanout_ - static_cast<double>(base);
+    return base + (rng.chance(frac) ? 1 : 0);
+  }
+
+  double current_target() const override { return fanout_; }
+
+ private:
+  double fanout_;
+};
+
+}  // namespace hg::gossip

@@ -1,0 +1,144 @@
+#include "gossip/messages.hpp"
+
+namespace hg::gossip {
+
+namespace {
+
+void write_ids(net::ByteWriter& w, const std::vector<EventId>& ids) {
+  w.varint(ids.size());
+  // Ids within one message are near-consecutive (they batch one gossip
+  // period of the stream); delta-encoding would shave bytes but the paper
+  // computes overheads with plain 8-byte ids, so stay faithful.
+  for (EventId id : ids) w.u64(id.raw());
+}
+
+[[nodiscard]] bool read_ids(net::ByteReader& r, std::vector<EventId>& out) {
+  const auto n = r.varint();
+  if (!n || *n > 100000) return false;
+  out.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto raw = r.u64();
+    if (!raw) return false;
+    out.push_back(EventId::from_raw(*raw));
+  }
+  return true;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> finish(net::ByteWriter&& w) {
+  return std::make_shared<const std::vector<std::uint8_t>>(w.take());
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<std::uint8_t>> encode(const ProposeMsg& m) {
+  net::ByteWriter w(8 + m.ids.size() * 8);
+  w.u8(static_cast<std::uint8_t>(MsgTag::kPropose));
+  w.u32(m.sender.value());
+  write_ids(w, m.ids);
+  return finish(std::move(w));
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> encode(const RequestMsg& m) {
+  net::ByteWriter w(8 + m.ids.size() * 8);
+  w.u8(static_cast<std::uint8_t>(MsgTag::kRequest));
+  w.u32(m.sender.value());
+  write_ids(w, m.ids);
+  return finish(std::move(w));
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> encode(const ServeMsg& m) {
+  net::ByteWriter w(16 + m.event.payload_size());
+  w.u8(static_cast<std::uint8_t>(MsgTag::kServe));
+  w.u32(m.sender.value());
+  w.u64(m.event.id.raw());
+  if (m.event.payload) {
+    w.bytes(*m.event.payload);
+  } else {
+    w.varint(0);
+  }
+  return finish(std::move(w));
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> encode(const AggregationMsg& m) {
+  net::ByteWriter w(8 + m.records.size() * 20);
+  w.u8(static_cast<std::uint8_t>(MsgTag::kAggregation));
+  w.u32(m.sender.value());
+  w.varint(m.records.size());
+  for (const CapabilityRecord& rec : m.records) {
+    w.u32(rec.origin.value());
+    w.i64(rec.capability_bps);
+    w.i64(rec.measured_at.as_us());
+  }
+  return finish(std::move(w));
+}
+
+std::optional<MsgTag> peek_tag(const std::vector<std::uint8_t>& buf) {
+  if (buf.empty()) return std::nullopt;
+  const std::uint8_t t = buf[0];
+  if (t < static_cast<std::uint8_t>(MsgTag::kPropose) ||
+      t > static_cast<std::uint8_t>(MsgTag::kTreePush)) {
+    return std::nullopt;
+  }
+  return static_cast<MsgTag>(t);
+}
+
+namespace {
+[[nodiscard]] bool read_header(net::ByteReader& r, MsgTag expected, NodeId& sender) {
+  const auto tag = r.u8();
+  if (!tag || *tag != static_cast<std::uint8_t>(expected)) return false;
+  const auto s = r.u32();
+  if (!s) return false;
+  sender = NodeId{*s};
+  return true;
+}
+}  // namespace
+
+std::optional<ProposeMsg> decode_propose(const std::vector<std::uint8_t>& buf) {
+  net::ByteReader r(buf);
+  ProposeMsg m;
+  if (!read_header(r, MsgTag::kPropose, m.sender)) return std::nullopt;
+  if (!read_ids(r, m.ids)) return std::nullopt;
+  return m;
+}
+
+std::optional<RequestMsg> decode_request(const std::vector<std::uint8_t>& buf) {
+  net::ByteReader r(buf);
+  RequestMsg m;
+  if (!read_header(r, MsgTag::kRequest, m.sender)) return std::nullopt;
+  if (!read_ids(r, m.ids)) return std::nullopt;
+  return m;
+}
+
+std::optional<ServeMsg> decode_serve(const std::vector<std::uint8_t>& buf) {
+  net::ByteReader r(buf);
+  ServeMsg m;
+  if (!read_header(r, MsgTag::kServe, m.sender)) return std::nullopt;
+  const auto raw = r.u64();
+  if (!raw) return std::nullopt;
+  m.event.id = EventId::from_raw(*raw);
+  const auto payload = r.bytes();
+  if (!payload) return std::nullopt;
+  m.event.payload =
+      std::make_shared<const std::vector<std::uint8_t>>(payload->begin(), payload->end());
+  return m;
+}
+
+std::optional<AggregationMsg> decode_aggregation(const std::vector<std::uint8_t>& buf) {
+  net::ByteReader r(buf);
+  AggregationMsg m;
+  if (!read_header(r, MsgTag::kAggregation, m.sender)) return std::nullopt;
+  const auto n = r.varint();
+  if (!n || *n > 10000) return std::nullopt;
+  m.records.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    const auto origin = r.u32();
+    const auto cap = r.i64();
+    const auto ts = r.i64();
+    if (!origin || !cap || !ts) return std::nullopt;
+    m.records.push_back(
+        CapabilityRecord{NodeId{*origin}, *cap, sim::SimTime::us(*ts)});
+  }
+  return m;
+}
+
+}  // namespace hg::gossip

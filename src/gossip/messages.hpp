@@ -1,0 +1,123 @@
+// Wire messages of the three-phase gossip protocol and the aggregation
+// protocol, with byte-exact encode/decode.
+//
+// Every datagram starts with a one-byte tag so a node can dispatch the
+// protocols sharing its UDP port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/serde.hpp"
+#include "sim/time.hpp"
+
+namespace hg::gossip {
+
+// Tags are shared across all protocols multiplexed on a node's port.
+enum class MsgTag : std::uint8_t {
+  kPropose = 1,
+  kRequest = 2,
+  kServe = 3,
+  kAggregation = 4,
+  kCyclonRequest = 5,
+  kCyclonReply = 6,
+  kTreePush = 7,
+};
+
+// Identifies an event (one stream packet): (window, index-in-window) packed
+// into 64 bits. Index 0..data-1 are data packets, data..total-1 parity.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr EventId(std::uint32_t window, std::uint16_t index)
+      : v_((static_cast<std::uint64_t>(window) << 16) | index) {}
+
+  [[nodiscard]] static constexpr EventId from_raw(std::uint64_t raw) {
+    EventId id;
+    id.v_ = raw;
+    return id;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return v_; }
+  [[nodiscard]] constexpr std::uint32_t window() const {
+    return static_cast<std::uint32_t>(v_ >> 16);
+  }
+  [[nodiscard]] constexpr std::uint16_t index() const {
+    return static_cast<std::uint16_t>(v_ & 0xffff);
+  }
+
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace hg::gossip
+
+template <>
+struct std::hash<hg::gossip::EventId> {
+  std::size_t operator()(hg::gossip::EventId id) const noexcept {
+    return static_cast<std::size_t>(id.raw() * 0x9e3779b97f4a7c15ULL);  // Fibonacci hash
+  }
+};
+
+namespace hg::gossip {
+
+// A disseminated event: id + payload. The payload buffer is shared —
+// fan-out to many peers and storage for later serves never copy it.
+struct Event {
+  EventId id;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+
+  [[nodiscard]] std::size_t payload_size() const { return payload ? payload->size() : 0; }
+};
+
+struct ProposeMsg {
+  NodeId sender;
+  std::vector<EventId> ids;
+};
+
+struct RequestMsg {
+  NodeId sender;
+  std::vector<EventId> ids;
+};
+
+// One event per serve datagram: stream packets are MTU-sized (1316 B), so a
+// multi-packet serve would not fit a UDP datagram anyway.
+struct ServeMsg {
+  NodeId sender;
+  Event event;
+};
+
+// One capability observation flowing through the aggregation protocol.
+struct CapabilityRecord {
+  NodeId origin;
+  std::int64_t capability_bps = 0;
+  sim::SimTime measured_at;  // origin-local timestamp (clocks are synchronized in-sim)
+};
+
+struct AggregationMsg {
+  NodeId sender;
+  std::vector<CapabilityRecord> records;
+};
+
+// --- encode / decode ---------------------------------------------------
+// Encoders return a shared buffer ready for NetworkFabric::send. Decoders
+// return nullopt on any truncation/corruption (treated as datagram loss).
+
+[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const ProposeMsg& m);
+[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const RequestMsg& m);
+[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const ServeMsg& m);
+[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const AggregationMsg& m);
+
+[[nodiscard]] std::optional<MsgTag> peek_tag(const std::vector<std::uint8_t>& buf);
+[[nodiscard]] std::optional<ProposeMsg> decode_propose(const std::vector<std::uint8_t>& buf);
+[[nodiscard]] std::optional<RequestMsg> decode_request(const std::vector<std::uint8_t>& buf);
+[[nodiscard]] std::optional<ServeMsg> decode_serve(const std::vector<std::uint8_t>& buf);
+[[nodiscard]] std::optional<AggregationMsg> decode_aggregation(
+    const std::vector<std::uint8_t>& buf);
+
+}  // namespace hg::gossip

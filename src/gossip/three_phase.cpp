@@ -1,0 +1,221 @@
+#include "gossip/three_phase.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hg::gossip {
+
+ThreePhaseGossip::ThreePhaseGossip(sim::Simulator& simulator, net::NetworkFabric& fabric,
+                                   membership::LocalView& view, NodeId self,
+                                   GossipConfig config, FanoutPolicy& policy)
+    : sim_(simulator),
+      fabric_(fabric),
+      view_(view),
+      self_(self),
+      config_(config),
+      policy_(policy),
+      rng_(simulator.make_rng(0x474f5353ULL ^ (std::uint64_t{self.value()} << 24))),
+      retransmit_(simulator, config.retransmit_period, config.max_retransmits,
+                  [this](EventId id, int retry) { on_retransmit_fire(id, retry); }) {}
+
+void ThreePhaseGossip::start() {
+  // Random phase: nodes must not propose in lockstep.
+  const auto phase = sim::SimTime::us(static_cast<std::int64_t>(
+      rng_.below(static_cast<std::uint64_t>(config_.period.as_us()))));
+  timer_ = sim_.every(phase, config_.period, [this]() { gossip_round(); });
+}
+
+void ThreePhaseGossip::stop() { timer_.cancel(); }
+
+void ThreePhaseGossip::publish(Event event) {
+  const EventId id = event.id;
+  deliver_event(std::move(event));
+  if (config_.immediate_publish) {
+    // Algorithm 1 line 5: the source gossips {e.id} right away...
+    gossip_ids({id});
+    // ...and must not re-propose it in the next periodic round.
+    to_propose_.erase(std::remove(to_propose_.begin(), to_propose_.end(), id),
+                      to_propose_.end());
+  }
+}
+
+void ThreePhaseGossip::gossip_round() {
+  ++stats_.rounds;
+  if (to_propose_.empty()) return;
+  gossip_ids(to_propose_);
+  to_propose_.clear();  // infect and die
+}
+
+void ThreePhaseGossip::gossip_ids(const std::vector<EventId>& ids) {
+  if (ids.empty()) return;
+  const std::size_t fanout = policy_.fanout_for_round(rng_);
+  if (fanout == 0) return;
+  view_.select_nodes(fanout, targets_scratch_, rng_);
+  if (targets_scratch_.empty()) return;
+  // Encode once; the buffer is shared across all targets.
+  const auto bytes = encode(ProposeMsg{self_, ids});
+  for (NodeId target : targets_scratch_) {
+    fabric_.send(self_, target, net::MsgClass::kPropose, bytes);
+    ++stats_.proposes_sent;
+    stats_.ids_proposed += ids.size();
+  }
+}
+
+void ThreePhaseGossip::on_datagram(const net::Datagram& d) {
+  const auto tag = peek_tag(*d.bytes);
+  if (!tag) {
+    ++stats_.malformed;
+    return;
+  }
+  switch (*tag) {
+    case MsgTag::kPropose: {
+      if (auto m = decode_propose(*d.bytes)) {
+        on_propose(*m);
+      } else {
+        ++stats_.malformed;
+      }
+      break;
+    }
+    case MsgTag::kRequest: {
+      if (auto m = decode_request(*d.bytes)) {
+        on_request(*m);
+      } else {
+        ++stats_.malformed;
+      }
+      break;
+    }
+    case MsgTag::kServe: {
+      if (auto m = decode_serve(*d.bytes)) {
+        on_serve(*m);
+      } else {
+        ++stats_.malformed;
+      }
+      break;
+    }
+    default:
+      ++stats_.malformed;
+      break;
+  }
+}
+
+void ThreePhaseGossip::record_proposer(EventId id, NodeId proposer) {
+  ProposerList& list = proposers_[id];
+  if (list.nodes.size() >= config_.max_proposers_tracked) return;
+  if (std::find(list.nodes.begin(), list.nodes.end(), proposer) == list.nodes.end()) {
+    list.nodes.push_back(proposer);
+  }
+}
+
+void ThreePhaseGossip::on_propose(const ProposeMsg& m) {
+  // Phase 2 (Algorithm 1 lines 8-13): request everything new, immediately,
+  // from the proposer.
+  std::vector<EventId> wanted;
+  for (EventId id : m.ids) {
+    if (delivered_.contains(id)) continue;
+    if (cancelled_windows_.contains(id.window())) continue;
+    record_proposer(id, m.sender);  // fallback for retransmissions
+    if (requested_.contains(id)) continue;
+    if (should_request_ && !should_request_(id)) {
+      ++stats_.declined_requests;
+      continue;
+    }
+    requested_.insert(id);
+    wanted.push_back(id);
+  }
+  if (wanted.empty()) return;
+  fabric_.send(self_, m.sender, net::MsgClass::kRequest, encode(RequestMsg{self_, wanted}));
+  ++stats_.requests_sent;
+  for (EventId id : wanted) {
+    proposers_[id].last_requested = m.sender;
+    retransmit_.arm(id, 0);
+  }
+}
+
+void ThreePhaseGossip::on_request(const RequestMsg& m) {
+  // Phase 3 (lines 14-17): serve what we have, one datagram per event so
+  // each serve fits a UDP datagram.
+  for (EventId id : m.ids) {
+    auto it = delivered_.find(id);
+    if (it == delivered_.end()) {
+      ++stats_.unknown_requests;
+      continue;
+    }
+    fabric_.send(self_, m.sender, net::MsgClass::kServe, encode(ServeMsg{self_, it->second}));
+    ++stats_.serves_sent;
+  }
+}
+
+void ThreePhaseGossip::on_serve(const ServeMsg& m) {
+  if (delivered_.contains(m.event.id)) {
+    ++stats_.duplicate_serves;  // e.g., a retransmitted request raced the serve
+    return;
+  }
+  retransmit_.cancel(m.event.id);
+  deliver_event(m.event);
+}
+
+void ThreePhaseGossip::deliver_event(Event event) {
+  const EventId id = event.id;
+  HG_ASSERT(!delivered_.contains(id));
+  to_propose_.push_back(id);
+  ++stats_.events_delivered;
+  const Event& stored = delivered_.emplace(id, std::move(event)).first->second;
+  proposers_.erase(id);
+  if (id.window() > newest_window_seen_) {
+    newest_window_seen_ = id.window();
+    gc(newest_window_seen_);
+  }
+  if (deliver_) deliver_(stored);
+}
+
+void ThreePhaseGossip::on_retransmit_fire(EventId id, int retry_count) {
+  HG_ASSERT(!delivered_.contains(id));  // serve would have cancelled the timer
+  auto it = proposers_.find(id);
+  if (it == proposers_.end() || it->second.nodes.empty()) {
+    retransmit_.cancel(id);
+    return;
+  }
+  ProposerList& list = it->second;
+  // Find a proposer other than the one our last request went to; a repeat
+  // request would just elicit a duplicate serve from a slow-but-alive peer.
+  NodeId target = kInvalidNode;
+  for (std::size_t probe = 0; probe < list.nodes.size(); ++probe) {
+    const NodeId candidate = list.nodes[list.next % list.nodes.size()];
+    ++list.next;
+    if (candidate != list.last_requested) {
+      target = candidate;
+      break;
+    }
+  }
+  if (!target.valid()) {
+    // Sole proposer: back off and wait — either its queued serve arrives or
+    // someone else proposes the id (record_proposer keeps collecting).
+    retransmit_.arm(id, retry_count);
+    return;
+  }
+  list.last_requested = target;
+  fabric_.send(self_, target, net::MsgClass::kRequest, encode(RequestMsg{self_, {id}}));
+  ++stats_.requests_sent;
+  retransmit_.arm(id, retry_count);
+}
+
+void ThreePhaseGossip::cancel_window_requests(std::uint32_t window) {
+  cancelled_windows_.insert(window);
+  retransmit_.cancel_window(window);
+}
+
+void ThreePhaseGossip::gc(std::uint32_t newest_window) {
+  if (newest_window < config_.gc_window_horizon) return;
+  const std::uint32_t cutoff = newest_window - config_.gc_window_horizon;
+  if (cutoff <= gc_done_below_) return;
+  auto stale = [cutoff](EventId id) { return id.window() < cutoff; };
+  std::erase_if(delivered_, [&](const auto& kv) { return stale(kv.first); });
+  std::erase_if(requested_, stale);
+  std::erase_if(proposers_, [&](const auto& kv) { return stale(kv.first); });
+  std::erase_if(cancelled_windows_, [&](std::uint32_t w) { return w < cutoff; });
+  gc_done_below_ = cutoff;
+}
+
+}  // namespace hg::gossip

@@ -1,0 +1,134 @@
+// Three-phase push-request-push gossip dissemination (paper Algorithm 1)
+// with the retransmission extension of Algorithm 2.
+//
+// Phase 1: every `period`, propose the ids delivered since the last round
+//          ("infect and die": each id is proposed exactly once) to
+//          fanout-many uniformly random peers.
+// Phase 2: a peer receiving a [Propose] immediately [Request]s the ids it
+//          has not requested yet from the proposer.
+// Phase 3: the proposer [Serve]s the payloads; one datagram per event.
+//
+// The fanout comes from a FanoutPolicy: a constant for standard gossip, the
+// capability-proportional rule for HEAP — this single indirection is the
+// paper's entire behavioural delta.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gossip/config.hpp"
+#include "gossip/fanout_policy.hpp"
+#include "gossip/messages.hpp"
+#include "gossip/retransmit.hpp"
+#include "membership/directory.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace hg::gossip {
+
+class ThreePhaseGossip {
+ public:
+  // Called exactly once per distinct event, when its payload first arrives.
+  using DeliverFn = std::function<void(const Event&)>;
+  // Lets the application veto requests (e.g., the player declines further
+  // packets of a window it has already decoded). Default: request all.
+  using ShouldRequestFn = std::function<bool(EventId)>;
+
+  ThreePhaseGossip(sim::Simulator& simulator, net::NetworkFabric& fabric,
+                   membership::LocalView& view, NodeId self, GossipConfig config,
+                   FanoutPolicy& policy);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_should_request(ShouldRequestFn fn) { should_request_ = std::move(fn); }
+
+  // Starts the periodic gossip timer (random initial phase).
+  void start();
+  void stop();
+
+  // Source-side entry point (Algorithm 1 `publish`): deliver locally, then
+  // propose — immediately by default, else in the next round.
+  void publish(Event event);
+
+  // Dispatches kPropose / kRequest / kServe datagrams addressed to self.
+  void on_datagram(const net::Datagram& d);
+
+  // Stop requesting/retransmitting packets of `window` (already decodable).
+  void cancel_window_requests(std::uint32_t window);
+
+  [[nodiscard]] bool has_delivered(EventId id) const { return delivered_.contains(id); }
+  // Stored event (payload included) or nullptr if unknown/garbage-collected.
+  [[nodiscard]] const Event* delivered_event(EventId id) const {
+    const auto it = delivered_.find(id);
+    return it == delivered_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const GossipConfig& config() const { return config_; }
+  [[nodiscard]] FanoutPolicy& policy() { return policy_; }
+
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t proposes_sent = 0;       // datagrams
+    std::uint64_t ids_proposed = 0;        // id entries across proposes
+    std::uint64_t requests_sent = 0;
+    std::uint64_t serves_sent = 0;
+    std::uint64_t events_delivered = 0;
+    std::uint64_t duplicate_serves = 0;
+    std::uint64_t declined_requests = 0;   // vetoed by should_request
+    std::uint64_t unknown_requests = 0;    // asked for events we lack
+    std::uint64_t malformed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RetransmitTracker::Stats& retransmit_stats() const {
+    return retransmit_.stats();
+  }
+
+ private:
+  void gossip_round();
+  void gossip_ids(const std::vector<EventId>& ids);
+  void on_propose(const ProposeMsg& m);
+  void on_request(const RequestMsg& m);
+  void on_serve(const ServeMsg& m);
+  void on_retransmit_fire(EventId id, int retry_count);
+  void deliver_event(Event event);
+  void record_proposer(EventId id, NodeId proposer);
+  void gc(std::uint32_t newest_window);
+
+  sim::Simulator& sim_;
+  net::NetworkFabric& fabric_;
+  membership::LocalView& view_;
+  NodeId self_;
+  GossipConfig config_;
+  FanoutPolicy& policy_;
+  Rng rng_;
+
+  DeliverFn deliver_;
+  ShouldRequestFn should_request_;
+
+  std::unordered_map<EventId, Event> delivered_;
+  std::unordered_set<EventId> requested_;
+  // Known proposers per not-yet-delivered event; [0] got the first request,
+  // retries walk the rest round-robin. Re-requesting the node that already
+  // has our request queued would only produce a duplicate serve, so retries
+  // require a *different* target; with no alternate the timer re-arms
+  // silently and waits for new proposers.
+  struct ProposerList {
+    std::vector<NodeId> nodes;
+    std::uint32_t next = 1;              // index of the proposer for the next retry
+    NodeId last_requested;               // whoever got the latest request
+  };
+  std::unordered_map<EventId, ProposerList> proposers_;
+  std::vector<EventId> to_propose_;
+  RetransmitTracker retransmit_;
+  std::unordered_set<std::uint32_t> cancelled_windows_;
+
+  sim::Simulator::PeriodicHandle timer_;
+  std::uint32_t newest_window_seen_ = 0;
+  std::uint32_t gc_done_below_ = 0;
+  std::vector<NodeId> targets_scratch_;
+  Stats stats_;
+};
+
+}  // namespace hg::gossip

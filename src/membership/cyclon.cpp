@@ -1,0 +1,157 @@
+#include "membership/cyclon.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "net/serde.hpp"
+
+namespace hg::membership {
+
+namespace {
+constexpr std::uint8_t kShuffleRequest = 1;
+constexpr std::uint8_t kShuffleReply = 2;
+}  // namespace
+
+CyclonNode::CyclonNode(sim::Simulator& simulator, net::NetworkFabric& fabric, NodeId self,
+                       CyclonConfig config)
+    : sim_(simulator),
+      fabric_(fabric),
+      self_(self),
+      config_(config),
+      rng_(simulator.make_rng(0x4359434cULL ^ (std::uint64_t{self.value()} << 20))) {}
+
+void CyclonNode::bootstrap(const std::vector<NodeId>& initial) {
+  view_.clear();
+  for (NodeId id : initial) {
+    if (id == self_) continue;
+    if (view_.size() >= config_.view_size) break;
+    view_.push_back(Entry{id, 0});
+  }
+}
+
+void CyclonNode::start() {
+  // Random phase so all nodes do not shuffle in lockstep.
+  const auto phase = sim::SimTime::us(static_cast<std::int64_t>(
+      rng_.below(static_cast<std::uint64_t>(config_.period.as_us()))));
+  timer_ = sim_.every(phase, config_.period, [this]() { shuffle_round(); });
+}
+
+void CyclonNode::stop() { timer_.cancel(); }
+
+std::shared_ptr<const std::vector<std::uint8_t>> CyclonNode::encode(
+    bool is_reply, const std::vector<Entry>& entries) const {
+  net::ByteWriter w(4 + entries.size() * 6);
+  w.u8(is_reply ? kShuffleReply : kShuffleRequest);
+  w.u32(self_.value());
+  w.varint(entries.size());
+  for (const Entry& e : entries) {
+    w.u32(e.id.value());
+    w.u16(e.age);
+  }
+  return std::make_shared<const std::vector<std::uint8_t>>(w.take());
+}
+
+void CyclonNode::shuffle_round() {
+  if (view_.empty()) return;
+  for (Entry& e : view_) ++e.age;
+
+  // Pick the oldest neighbour as the shuffle target (Cyclon's churn lever:
+  // stale entries get exercised and evicted first).
+  auto oldest = std::max_element(view_.begin(), view_.end(),
+                                 [](const Entry& a, const Entry& b) { return a.age < b.age; });
+  const NodeId target = oldest->id;
+  // Remove the target from the view; it is replaced by the reply.
+  view_.erase(oldest);
+
+  // Offer: self with age 0 + up to shuffle_len-1 random entries.
+  std::vector<Entry> offer;
+  offer.push_back(Entry{self_, 0});
+  std::vector<std::uint32_t> idx;
+  rng_.sample_indices(view_.size(), std::min(config_.shuffle_len - 1, view_.size()), idx);
+  last_sent_.clear();
+  for (auto i : idx) {
+    offer.push_back(view_[i]);
+    last_sent_.push_back(view_[i].id);
+  }
+  fabric_.send(self_, target, net::MsgClass::kMembership, encode(false, offer));
+}
+
+void CyclonNode::on_datagram(const net::Datagram& d) {
+  net::ByteReader r(*d.bytes);
+  const auto tag = r.u8();
+  const auto from_raw = r.u32();
+  if (!tag || !from_raw) return;  // malformed: drop
+  const NodeId from{*from_raw};
+  const auto count = r.varint();
+  if (!count) return;
+  std::vector<Entry> incoming;
+  incoming.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto id = r.u32();
+    const auto age = r.u16();
+    if (!id || !age.has_value()) return;
+    incoming.push_back(Entry{NodeId{*id}, *age});
+  }
+
+  if (*tag == kShuffleRequest) {
+    // Reply with a random subset of our view (not including self).
+    std::vector<Entry> reply_entries;
+    std::vector<std::uint32_t> idx;
+    rng_.sample_indices(view_.size(), std::min(config_.shuffle_len, view_.size()), idx);
+    std::vector<NodeId> sent;
+    for (auto i : idx) {
+      reply_entries.push_back(view_[i]);
+      sent.push_back(view_[i].id);
+    }
+    fabric_.send(self_, from, net::MsgClass::kMembership, encode(true, reply_entries));
+    merge(incoming, sent);
+  } else {
+    merge(incoming, last_sent_);
+    last_sent_.clear();
+  }
+}
+
+void CyclonNode::merge(const std::vector<Entry>& incoming, const std::vector<NodeId>& sent) {
+  for (const Entry& in : incoming) {
+    if (in.id == self_) continue;
+    auto existing = std::find_if(view_.begin(), view_.end(),
+                                 [&](const Entry& e) { return e.id == in.id; });
+    if (existing != view_.end()) {
+      existing->age = std::min(existing->age, in.age);
+      continue;
+    }
+    if (view_.size() < config_.view_size) {
+      view_.push_back(in);
+      continue;
+    }
+    // View full: first replace an entry we just shipped out, else the oldest.
+    auto victim = view_.end();
+    for (NodeId s : sent) {
+      victim = std::find_if(view_.begin(), view_.end(),
+                            [&](const Entry& e) { return e.id == s; });
+      if (victim != view_.end()) break;
+    }
+    if (victim == view_.end()) {
+      victim = std::max_element(view_.begin(), view_.end(),
+                                [](const Entry& a, const Entry& b) { return a.age < b.age; });
+    }
+    *victim = in;
+  }
+}
+
+void CyclonNode::select_nodes(std::size_t k, std::vector<NodeId>& out, Rng& rng) {
+  out.clear();
+  const std::size_t take = std::min(k, view_.size());
+  std::vector<std::uint32_t> idx;
+  rng.sample_indices(view_.size(), take, idx);
+  for (auto i : idx) out.push_back(view_[i].id);
+}
+
+const std::vector<NodeId> CyclonNode::view_snapshot() const {
+  std::vector<NodeId> ids;
+  ids.reserve(view_.size());
+  for (const Entry& e : view_) ids.push_back(e.id);
+  return ids;
+}
+
+}  // namespace hg::membership

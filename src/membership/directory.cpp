@@ -1,0 +1,90 @@
+#include "membership/directory.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hg::membership {
+
+Directory::Directory(sim::Simulator& simulator, DetectionConfig detection)
+    : sim_(simulator),
+      detection_(detection),
+      rng_(simulator.make_rng(/*stream_tag=*/0x4d454d42)) {}  // "MEMB"
+
+void Directory::add_node(NodeId id) {
+  HG_ASSERT_MSG(id.value() == alive_.size(), "add nodes with consecutive ids from 0");
+  alive_.push_back(true);
+  ++alive_count_;
+}
+
+void Directory::kill(NodeId id) {
+  HG_ASSERT(id.value() < alive_.size());
+  if (!alive_[id.value()]) return;
+  alive_[id.value()] = false;
+  --alive_count_;
+  for (LocalView* view : views_) {
+    if (view->owner() == id) continue;
+    const NodeId observer = view->owner();
+    const double factor = rng_.uniform(1.0 - detection_.spread, 1.0 + detection_.spread);
+    const auto delay = sim::SimTime::us(
+        static_cast<std::int64_t>(static_cast<double>(detection_.mean.as_us()) * factor));
+    // Look the view up again at fire time: it may have been destroyed (its
+    // owner torn down) while the detection event was pending.
+    sim_.after_fire_and_forget(delay, [this, observer, id]() {
+      for (LocalView* v : views_) {
+        if (v->owner() == observer) {
+          v->mark_dead(id);
+          return;
+        }
+      }
+    });
+  }
+}
+
+std::unique_ptr<LocalView> Directory::make_view(NodeId owner) {
+  return std::unique_ptr<LocalView>(new LocalView(this, owner));
+}
+
+void Directory::register_view(LocalView* view) { views_.push_back(view); }
+
+void Directory::unregister_view(LocalView* view) {
+  views_.erase(std::remove(views_.begin(), views_.end(), view), views_.end());
+}
+
+LocalView::LocalView(Directory* dir, NodeId owner) : dir_(dir), owner_(owner) {
+  positions_.assign(dir_->size(), kNpos);
+  members_.reserve(dir_->size());
+  for (std::uint32_t i = 0; i < dir_->size(); ++i) {
+    const NodeId id{i};
+    if (id == owner_ || !dir_->alive(id)) continue;
+    positions_[i] = static_cast<std::uint32_t>(members_.size());
+    members_.push_back(id);
+  }
+  dir_->register_view(this);
+}
+
+LocalView::~LocalView() { dir_->unregister_view(this); }
+
+void LocalView::mark_dead(NodeId id) {
+  const std::uint32_t pos = positions_[id.value()];
+  if (pos == kNpos) return;
+  // Swap-remove keeps select_nodes O(k).
+  const NodeId last = members_.back();
+  members_[pos] = last;
+  positions_[last.value()] = pos;
+  members_.pop_back();
+  positions_[id.value()] = kNpos;
+}
+
+void LocalView::select_nodes(std::size_t k, std::vector<NodeId>& out, Rng& rng) {
+  out.clear();
+  const std::size_t avail = members_.size();
+  const std::size_t take = std::min(k, avail);
+  if (take == 0) return;
+  scratch_.clear();
+  rng.sample_indices(avail, take, scratch_);
+  out.reserve(take);
+  for (auto idx : scratch_) out.push_back(members_[idx]);
+}
+
+}  // namespace hg::membership

@@ -1,0 +1,95 @@
+// Global membership directory and per-node membership views.
+//
+// The paper assumes uniform random peer selection over the full membership
+// ("for simplicity, we consider here that the initial fanout is computed
+// knowing the system size in advance"). Directory is that ground truth.
+// Each node owns a LocalView which lags reality: after a crash, a view keeps
+// returning the dead node until the configured failure-detection delay has
+// elapsed (§3.6 configures this to 10 s on average).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace hg::membership {
+
+class LocalView;
+
+struct DetectionConfig {
+  // Detection latency is uniform in [mean*(1-spread), mean*(1+spread)].
+  sim::SimTime mean = sim::SimTime::sec(10.0);
+  double spread = 0.5;
+};
+
+class Directory {
+ public:
+  Directory(sim::Simulator& simulator, DetectionConfig detection);
+
+  // Adds a node; all ids must be consecutive from 0.
+  void add_node(NodeId id);
+
+  // Crash-stop at the current simulation time. Every registered LocalView
+  // learns about it after its own sampled detection delay.
+  void kill(NodeId id);
+
+  [[nodiscard]] bool alive(NodeId id) const { return alive_[id.value()]; }
+  [[nodiscard]] std::size_t size() const { return alive_.size(); }
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  // Creates the membership view owned by `owner`. Must be called after all
+  // add_node calls (views snapshot the full population).
+  [[nodiscard]] std::unique_ptr<LocalView> make_view(NodeId owner);
+
+ private:
+  friend class LocalView;
+  void register_view(LocalView* view);
+  void unregister_view(LocalView* view);
+
+  sim::Simulator& sim_;
+  DetectionConfig detection_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  std::vector<LocalView*> views_;
+  Rng rng_;
+};
+
+// A node's (possibly stale) view of the membership.
+class LocalView {
+ public:
+  ~LocalView();
+  LocalView(const LocalView&) = delete;
+  LocalView& operator=(const LocalView&) = delete;
+
+  // k distinct peers chosen uniformly at random from the nodes this view
+  // believes alive, excluding the owner. Returns fewer than k if the believed
+  // population is too small.
+  void select_nodes(std::size_t k, std::vector<NodeId>& out, Rng& rng);
+
+  // Number of peers the view believes alive (excluding owner).
+  [[nodiscard]] std::size_t believed_peers() const { return members_.size(); }
+
+  [[nodiscard]] NodeId owner() const { return owner_; }
+
+  // Immediate removal (invoked by the directory after the detection delay;
+  // also usable directly by tests).
+  void mark_dead(NodeId id);
+
+ private:
+  friend class Directory;
+  LocalView(Directory* dir, NodeId owner);
+
+  Directory* dir_;
+  NodeId owner_;
+  std::vector<NodeId> members_;          // believed-alive peers, order arbitrary
+  std::vector<std::uint32_t> positions_; // node id -> index in members_, or npos
+  std::vector<std::uint32_t> scratch_;   // avoids per-call allocation
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+};
+
+}  // namespace hg::membership

@@ -1,0 +1,66 @@
+#include "metrics/cdf.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace hg::metrics {
+
+std::vector<CdfPoint> Cdf::evaluate(const Samples& samples, const std::vector<double>& grid,
+                                    std::size_t population) {
+  HG_ASSERT(population >= samples.count());
+  std::vector<CdfPoint> out;
+  out.reserve(grid.size());
+  for (double x : grid) {
+    const double frac =
+        population == 0
+            ? 0.0
+            : samples.fraction_at_most(x) * static_cast<double>(samples.count()) /
+                  static_cast<double>(population);
+    out.push_back(CdfPoint{x, frac * 100.0});
+  }
+  return out;
+}
+
+std::vector<double> Cdf::uniform_grid(double max, std::size_t steps) {
+  HG_ASSERT(steps >= 2);
+  std::vector<double> grid;
+  grid.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    grid.push_back(max * static_cast<double>(i) / static_cast<double>(steps - 1));
+  }
+  return grid;
+}
+
+std::string render_cdf_table(const std::string& x_label,
+                             const std::vector<std::string>& series_names,
+                             const std::vector<std::vector<CdfPoint>>& series) {
+  HG_ASSERT(series_names.size() == series.size());
+  std::string out;
+  char line[512];
+
+  std::snprintf(line, sizeof(line), "%12s", x_label.c_str());
+  out += line;
+  for (const auto& name : series_names) {
+    std::snprintf(line, sizeof(line), " | %20s", name.c_str());
+    out += line;
+  }
+  out += '\n';
+  out += std::string(12 + series.size() * 23, '-');
+  out += '\n';
+
+  const std::size_t rows = series.empty() ? 0 : series[0].size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::snprintf(line, sizeof(line), "%12.2f", series[0][r].x);
+    out += line;
+    for (const auto& s : series) {
+      HG_ASSERT(s.size() == rows);
+      std::snprintf(line, sizeof(line), " | %19.1f%%", s[r].percent);
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hg::metrics

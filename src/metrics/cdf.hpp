@@ -1,0 +1,37 @@
+// Cumulative-distribution series, matching the paper's CDF plots
+// ("percentage of nodes (cumulative distribution)" vs lag / jitter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/percentile.hpp"
+
+namespace hg::metrics {
+
+struct CdfPoint {
+  double x = 0.0;        // threshold (e.g. stream lag in seconds)
+  double percent = 0.0;  // % of population with value <= x
+};
+
+class Cdf {
+ public:
+  // Evaluates the CDF of `samples` at each grid point. `population` lets the
+  // caller count against a larger denominator than samples.count() — e.g.
+  // nodes that never reached the target contribute to the denominator but
+  // have no sample (the paper's curves saturate below 100% for this reason).
+  [[nodiscard]] static std::vector<CdfPoint> evaluate(const Samples& samples,
+                                                      const std::vector<double>& grid,
+                                                      std::size_t population);
+
+  // Convenience: uniform grid [0, max] with `steps` points.
+  [[nodiscard]] static std::vector<double> uniform_grid(double max, std::size_t steps);
+};
+
+// Renders one or more CDF series as a compact ASCII table, one row per grid
+// point, one column per series.
+[[nodiscard]] std::string render_cdf_table(const std::string& x_label,
+                                           const std::vector<std::string>& series_names,
+                                           const std::vector<std::vector<CdfPoint>>& series);
+
+}  // namespace hg::metrics

@@ -1,0 +1,36 @@
+// Order statistics over collected samples.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace hg::metrics {
+
+class Samples {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // Nearest-rank percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+  // Fraction of samples <= threshold.
+  [[nodiscard]] double fraction_at_most(double threshold) const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace hg::metrics

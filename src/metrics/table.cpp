@@ -1,0 +1,64 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace hg::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HG_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HG_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::pct(double fraction01, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction01 * 100.0);
+  return buf;
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += (c == 0) ? "| " : " | ";
+      line += cells[c];
+      line.append(width[c] - cells[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    sep.append(width[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + emit_row(headers_) + sep;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += sep;
+  return out;
+}
+
+}  // namespace hg::metrics

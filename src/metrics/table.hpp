@@ -1,0 +1,27 @@
+// Plain-text table renderer for bench output (paper-style tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hg::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  [[nodiscard]] static std::string pct(double fraction01, int decimals = 1);
+  [[nodiscard]] static std::string num(double v, int decimals = 2);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hg::metrics

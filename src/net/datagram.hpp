@@ -1,0 +1,44 @@
+// The unit of transport: an unreliable datagram, as UDP provides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hg::net {
+
+// Per-datagram IPv4 (20 B) + UDP (8 B) header overhead added to every wire
+// size; the paper's rate limiter operated on real UDP datagrams.
+inline constexpr std::int64_t kUdpIpOverheadBytes = 28;
+
+// Traffic classes, used for per-class bandwidth accounting (Fig. 4) and for
+// the priority-queue ablation.
+enum class MsgClass : std::uint8_t {
+  kPropose = 0,
+  kRequest,
+  kServe,
+  kAggregation,
+  kMembership,
+  kTree,
+  kOther,
+  kCount_,
+};
+
+[[nodiscard]] const char* to_string(MsgClass c);
+
+struct Datagram {
+  NodeId src;
+  NodeId dst;
+  MsgClass cls = MsgClass::kOther;
+  // Encoded message (header + body). Shared so a propose fanned out to f
+  // targets is encoded once.
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+
+  [[nodiscard]] std::int64_t wire_bytes() const {
+    return static_cast<std::int64_t>(bytes ? bytes->size() : 0) + kUdpIpOverheadBytes;
+  }
+};
+
+}  // namespace hg::net

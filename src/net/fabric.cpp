@@ -1,0 +1,69 @@
+#include "net/fabric.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::net {
+
+NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+                             std::unique_ptr<LossModel> loss, FabricConfig config)
+    : sim_(simulator),
+      latency_(std::move(latency)),
+      loss_(std::move(loss)),
+      config_(config),
+      rng_(simulator.make_rng(/*stream_tag=*/0x4e455446)) {  // "NETF"
+  HG_ASSERT(latency_ != nullptr);
+  HG_ASSERT(loss_ != nullptr);
+}
+
+void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive) {
+  HG_ASSERT_MSG(id.value() == entries_.size(), "register nodes with consecutive ids from 0");
+  Entry e;
+  e.receive = std::move(receive);
+  e.link = std::make_unique<UploadLink>(sim_, upload_capacity, config_.discipline,
+                                        [this](Datagram&& d) { on_wire(std::move(d)); });
+  entries_.push_back(std::move(e));
+}
+
+void NetworkFabric::send(NodeId src, NodeId dst, MsgClass cls,
+                         std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
+  HG_ASSERT(bytes != nullptr);
+  Entry& s = entry(src);
+  if (!s.alive) return;
+  HG_ASSERT_MSG(src != dst, "self-sends indicate a peer-selection bug");
+  Datagram d{src, dst, cls, std::move(bytes)};
+  s.meter.on_offered(cls, d.wire_bytes());
+  s.link->enqueue(std::move(d));
+}
+
+void NetworkFabric::on_wire(Datagram&& d) {
+  // The datagram has fully left the sender: this is what "used upload
+  // bandwidth" means (Fig. 4), loss or not.
+  entry(d.src).meter.on_sent(d.cls, d.wire_bytes());
+  // Loss is evaluated when the datagram leaves the sender.
+  if (loss_->lost(d.src, d.dst, rng_)) {
+    ++lost_;
+    entry(d.src).meter.on_dropped_in_flight(d.wire_bytes());
+    return;
+  }
+  const sim::SimTime delay = latency_->sample(d.src, d.dst, rng_);
+  sim_.after_fire_and_forget(delay, [this, d = std::move(d)]() {
+    Entry& r = entry(d.dst);
+    if (!r.alive) return;  // crashed while in flight
+    ++delivered_;
+    r.meter.on_received(d.cls, d.wire_bytes());
+    if (r.receive) r.receive(d);
+  });
+}
+
+void NetworkFabric::kill(NodeId id) {
+  Entry& e = entry(id);
+  e.alive = false;
+  e.link->shutdown();
+  e.receive = nullptr;
+}
+
+void NetworkFabric::set_capacity(NodeId id, BitRate capacity) {
+  entry(id).link->set_capacity(capacity);
+}
+
+}  // namespace hg::net

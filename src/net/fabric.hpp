@@ -1,0 +1,87 @@
+// The simulated datagram network connecting all nodes.
+//
+// send() pushes a datagram through the sender's upload link (rate limiter),
+// then applies the loss model and the latency model, and finally delivers to
+// the destination's receive callback — unless either endpoint has crashed.
+// Downlinks are unconstrained, matching the paper ("download capabilities
+// are much higher than upload ones"; only upload is capped).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "net/datagram.hpp"
+#include "net/latency.hpp"
+#include "net/loss.hpp"
+#include "net/traffic_meter.hpp"
+#include "net/upload_link.hpp"
+#include "sim/simulator.hpp"
+
+namespace hg::net {
+
+using ReceiveFn = std::function<void(const Datagram&)>;
+
+struct FabricConfig {
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+};
+
+class NetworkFabric {
+ public:
+  NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+                std::unique_ptr<LossModel> loss, FabricConfig config = {});
+
+  // Nodes must be registered with consecutive ids starting at 0.
+  void register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive);
+
+  // Sends `bytes` (already-encoded message) from src to dst.
+  void send(NodeId src, NodeId dst, MsgClass cls,
+            std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+
+  // Crash-stop: the node neither sends nor receives from now on.
+  void kill(NodeId id);
+  [[nodiscard]] bool alive(NodeId id) const { return entry(id).alive; }
+
+  void set_capacity(NodeId id, BitRate capacity);
+  [[nodiscard]] BitRate capacity(NodeId id) const { return entry(id).link->capacity(); }
+
+  [[nodiscard]] const TrafficMeter& meter(NodeId id) const { return entry(id).meter; }
+  [[nodiscard]] const UploadLink& link(NodeId id) const { return *entry(id).link; }
+  [[nodiscard]] std::size_t node_count() const { return entries_.size(); }
+
+  [[nodiscard]] std::uint64_t datagrams_lost() const { return lost_; }
+  [[nodiscard]] std::uint64_t datagrams_delivered() const { return delivered_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<UploadLink> link;
+    ReceiveFn receive;
+    TrafficMeter meter;
+    bool alive = true;
+  };
+
+  [[nodiscard]] Entry& entry(NodeId id) {
+    HG_ASSERT(id.value() < entries_.size());
+    return entries_[id.value()];
+  }
+  [[nodiscard]] const Entry& entry(NodeId id) const {
+    HG_ASSERT(id.value() < entries_.size());
+    return entries_[id.value()];
+  }
+
+  void on_wire(Datagram&& d);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<LossModel> loss_;
+  FabricConfig config_;
+  std::vector<Entry> entries_;
+  Rng rng_;
+  std::uint64_t lost_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hg::net

@@ -1,0 +1,42 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hg::net {
+
+sim::SimTime UniformLatency::sample(NodeId, NodeId, Rng& rng) {
+  const auto lo = lo_.as_us();
+  const auto hi = hi_.as_us();
+  return sim::SimTime::us(lo + static_cast<std::int64_t>(rng.below(
+                                   static_cast<std::uint64_t>(hi - lo + 1))));
+}
+
+PlanetLabLatency::PlanetLabLatency(PlanetLabLatencyConfig cfg, Rng rng)
+    : cfg_(cfg), pair_rng_(std::move(rng)) {}
+
+sim::SimTime PlanetLabLatency::base_for(NodeId src, NodeId dst) {
+  // Symmetric, order-independent pair key: the base is derived from a hash of
+  // the pair (not from a shared sequential stream), so the value is identical
+  // no matter which protocol queries first.
+  const std::uint32_t a = std::min(src.value(), dst.value());
+  const std::uint32_t b = std::max(src.value(), dst.value());
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  if (auto it = base_.find(key); it != base_.end()) return it->second;
+
+  Rng pair_stream = pair_rng_.fork(key);
+  const double ms = std::clamp(
+      std::exp(pair_stream.normal(cfg_.log_mean_ms, cfg_.log_sigma)), cfg_.min_ms,
+      cfg_.max_ms);
+  const auto base = sim::SimTime::us(static_cast<std::int64_t>(ms * 1000.0));
+  base_.emplace(key, base);
+  return base;
+}
+
+sim::SimTime PlanetLabLatency::sample(NodeId src, NodeId dst, Rng& rng) {
+  const sim::SimTime jitter =
+      sim::SimTime::us(static_cast<std::int64_t>(rng.uniform(0.0, cfg_.jitter_max_ms) * 1000.0));
+  return base_for(src, dst) + jitter;
+}
+
+}  // namespace hg::net

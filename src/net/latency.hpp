@@ -1,0 +1,69 @@
+// One-way network latency models.
+//
+// The experiment default (PlanetLabLatency) draws a stable per-pair base
+// delay from a log-normal distribution (wide-area RTT spreads are heavy
+// tailed) plus small per-packet jitter — a standard abstraction of the
+// PlanetLab testbed the paper ran on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace hg::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  // One-way delay for a datagram src -> dst sent now.
+  [[nodiscard]] virtual sim::SimTime sample(NodeId src, NodeId dst, Rng& rng) = 0;
+};
+
+// Fixed delay for every packet (unit tests, analytical checks).
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(sim::SimTime delay) : delay_(delay) {}
+  sim::SimTime sample(NodeId, NodeId, Rng&) override { return delay_; }
+
+ private:
+  sim::SimTime delay_;
+};
+
+// Independent uniform delay per packet.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(sim::SimTime lo, sim::SimTime hi) : lo_(lo), hi_(hi) {}
+  sim::SimTime sample(NodeId, NodeId, Rng& rng) override;
+
+ private:
+  sim::SimTime lo_;
+  sim::SimTime hi_;
+};
+
+struct PlanetLabLatencyConfig {
+  // exp(N(mu, sigma)) milliseconds, clamped to [min, max].
+  double log_mean_ms = 3.6;   // e^3.6 ~= 36 ms median one-way delay
+  double log_sigma = 0.55;
+  double min_ms = 3.0;
+  double max_ms = 400.0;
+  double jitter_max_ms = 5.0;  // uniform [0, jitter) added per packet
+};
+
+class PlanetLabLatency final : public LatencyModel {
+ public:
+  PlanetLabLatency(PlanetLabLatencyConfig cfg, Rng rng);
+  sim::SimTime sample(NodeId src, NodeId dst, Rng& rng) override;
+
+ private:
+  [[nodiscard]] sim::SimTime base_for(NodeId src, NodeId dst);
+
+  PlanetLabLatencyConfig cfg_;
+  Rng pair_rng_;  // draws stable per-pair bases, keyed deterministically
+  std::unordered_map<std::uint64_t, sim::SimTime> base_;
+};
+
+}  // namespace hg::net

@@ -1,0 +1,17 @@
+#include "net/loss.hpp"
+
+namespace hg::net {
+
+bool GilbertElliottLoss::lost(NodeId src, NodeId, Rng& rng) {
+  const std::size_t idx = src.value();
+  if (idx >= bad_.size()) bad_.resize(idx + 1, 0);
+  std::uint8_t& state = bad_[idx];
+  if (state == 0) {
+    if (rng.chance(cfg_.p_good_to_bad)) state = 1;
+  } else {
+    if (rng.chance(cfg_.p_bad_to_good)) state = 0;
+  }
+  return rng.chance(state == 0 ? cfg_.loss_good : cfg_.loss_bad);
+}
+
+}  // namespace hg::net

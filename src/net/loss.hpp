@@ -1,0 +1,55 @@
+// Datagram loss models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hg::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  // True if the datagram src -> dst is dropped in flight.
+  [[nodiscard]] virtual bool lost(NodeId src, NodeId dst, Rng& rng) = 0;
+};
+
+class NoLoss final : public LossModel {
+ public:
+  bool lost(NodeId, NodeId, Rng&) override { return false; }
+};
+
+// Independent per-datagram loss.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool lost(NodeId, NodeId, Rng& rng) override { return rng.chance(p_); }
+
+ private:
+  double p_;
+};
+
+// Two-state Gilbert-Elliott bursty loss (per sender): a sender is in a GOOD
+// state with low loss or a BAD state with high loss; transitions are sampled
+// per datagram. Models the correlated loss episodes PlanetLab exhibits under
+// CPU starvation.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Config {
+    double p_good_to_bad = 0.0005;
+    double p_bad_to_good = 0.02;
+    double loss_good = 0.003;
+    double loss_bad = 0.30;
+  };
+  explicit GilbertElliottLoss(Config cfg) : cfg_(cfg) {}
+
+  bool lost(NodeId src, NodeId dst, Rng& rng) override;
+
+ private:
+  Config cfg_;
+  std::vector<std::uint8_t> bad_;  // indexed by src node id; 1 = BAD state
+};
+
+}  // namespace hg::net

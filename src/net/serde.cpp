@@ -1,0 +1,10 @@
+// serde is header-only; this translation unit exists so the library has a
+// stable archive member and the header gets compiled standalone at least once.
+#include "net/serde.hpp"
+
+namespace hg::net {
+
+static_assert(sizeof(ByteWriter) > 0);
+static_assert(sizeof(ByteReader) > 0);
+
+}  // namespace hg::net

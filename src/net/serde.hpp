@@ -1,0 +1,120 @@
+// Byte-level wire serialization.
+//
+// Every protocol message is encoded to bytes before it enters the network
+// fabric, so message sizes — the quantity that drives all bandwidth effects
+// in the paper — are measured, never estimated. Integers are little-endian
+// fixed width; sequences are length-prefixed with a varint.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hg::net {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+  void f64(double v) { append(&v, sizeof v); }
+
+  // LEB128-style unsigned varint (1 byte for values < 128).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(const std::string& s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& view() const { return buf_; }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+// Non-owning reader over a received buffer. All accessors return
+// std::nullopt on truncation instead of reading out of bounds; protocol
+// handlers treat a malformed datagram as a drop (as a UDP stack would).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8() { return fixed<std::uint8_t>(); }
+  [[nodiscard]] std::optional<std::uint16_t> u16() { return fixed<std::uint16_t>(); }
+  [[nodiscard]] std::optional<std::uint32_t> u32() { return fixed<std::uint32_t>(); }
+  [[nodiscard]] std::optional<std::uint64_t> u64() { return fixed<std::uint64_t>(); }
+  [[nodiscard]] std::optional<std::int64_t> i64() { return fixed<std::int64_t>(); }
+  [[nodiscard]] std::optional<double> f64() { return fixed<double>(); }
+
+  [[nodiscard]] std::optional<std::uint64_t> varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (pos_ < data_.size() && shift <= 63) {
+      const std::uint8_t b = data_[pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes() {
+    auto n = varint();
+    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    auto out = data_.subspan(pos_, *n);
+    pos_ += *n;
+    return out;
+  }
+
+  [[nodiscard]] std::optional<std::string> str() {
+    auto b = bytes();
+    if (!b) return std::nullopt;
+    return std::string(b->begin(), b->end());
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  [[nodiscard]] std::optional<T> fixed() {
+    if (pos_ + sizeof(T) > data_.size()) return std::nullopt;
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hg::net

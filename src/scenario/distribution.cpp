@@ -1,0 +1,128 @@
+#include "scenario/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hg::scenario {
+
+BandwidthDistribution BandwidthDistribution::ref691() {
+  BandwidthDistribution d;
+  d.name_ = "ref-691";
+  d.kind_ = Kind::kClasses;
+  d.classes_ = {{"2Mbps", BitRate::kbps(2048), 0.10},
+                {"768kbps", BitRate::kbps(768), 0.50},
+                {"256kbps", BitRate::kbps(256), 0.40}};
+  return d;
+}
+
+BandwidthDistribution BandwidthDistribution::ref724() {
+  BandwidthDistribution d;
+  d.name_ = "ref-724";
+  d.kind_ = Kind::kClasses;
+  d.classes_ = {{"2Mbps", BitRate::kbps(2048), 0.15},
+                {"768kbps", BitRate::kbps(768), 0.39},
+                {"256kbps", BitRate::kbps(256), 0.46}};
+  return d;
+}
+
+BandwidthDistribution BandwidthDistribution::ms691() {
+  BandwidthDistribution d;
+  d.name_ = "ms-691";
+  d.kind_ = Kind::kClasses;
+  d.classes_ = {{"3Mbps", BitRate::kbps(3072), 0.05},
+                {"1Mbps", BitRate::kbps(1024), 0.10},
+                {"512kbps", BitRate::kbps(512), 0.85}};
+  return d;
+}
+
+BandwidthDistribution BandwidthDistribution::dist2_uniform(double half_width) {
+  HG_ASSERT(half_width > 0.0 && half_width < 1.0);
+  BandwidthDistribution d;
+  d.name_ = "dist2-uniform";
+  d.kind_ = Kind::kUniformRange;
+  const double mean = 691.0;
+  d.uniform_lo_kbps_ = mean * (1.0 - half_width);
+  d.uniform_hi_kbps_ = mean * (1.0 + half_width);
+  d.classes_ = {{"uniform", BitRate::kbps(mean), 1.0}};
+  return d;
+}
+
+BandwidthDistribution BandwidthDistribution::unconstrained() {
+  BandwidthDistribution d;
+  d.name_ = "unconstrained";
+  d.kind_ = Kind::kUnconstrained;
+  d.classes_ = {{"unconstrained", BitRate::unlimited(), 1.0}};
+  return d;
+}
+
+BandwidthDistribution BandwidthDistribution::homogeneous(BitRate capability) {
+  BandwidthDistribution d;
+  d.name_ = "homogeneous-" + to_string(capability);
+  d.kind_ = Kind::kClasses;
+  d.classes_ = {{to_string(capability), capability, 1.0}};
+  return d;
+}
+
+double BandwidthDistribution::average_kbps() const {
+  switch (kind_) {
+    case Kind::kUnconstrained:
+      return BitRate::unlimited().kbits_per_sec();
+    case Kind::kUniformRange:
+      return (uniform_lo_kbps_ + uniform_hi_kbps_) / 2.0;
+    case Kind::kClasses: {
+      double avg = 0;
+      for (const auto& c : classes_) avg += c.fraction * c.capability.kbits_per_sec();
+      return avg;
+    }
+  }
+  return 0;
+}
+
+std::vector<NodeBandwidth> BandwidthDistribution::assign(std::size_t n, Rng& rng) const {
+  std::vector<NodeBandwidth> out;
+  out.reserve(n);
+
+  switch (kind_) {
+    case Kind::kUnconstrained: {
+      out.assign(n, NodeBandwidth{BitRate::unlimited(), 0});
+      return out;
+    }
+    case Kind::kUniformRange: {
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(
+            NodeBandwidth{BitRate::kbps(rng.uniform(uniform_lo_kbps_, uniform_hi_kbps_)), 0});
+      }
+      return out;
+    }
+    case Kind::kClasses:
+      break;
+  }
+
+  // Largest-remainder apportionment: counts match fractions as closely as an
+  // integer split allows, so the realized average tracks Table 1 exactly.
+  std::vector<std::size_t> count(classes_.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const double exact = classes_[c].fraction * static_cast<double>(n);
+    count[c] = static_cast<std::size_t>(exact);
+    assigned += count[c];
+    remainders.emplace_back(exact - std::floor(exact), c);
+  }
+  std::sort(remainders.begin(), remainders.end(), std::greater<>{});
+  for (std::size_t i = 0; assigned < n; ++i, ++assigned) {
+    count[remainders[i % remainders.size()].second]++;
+  }
+
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    for (std::size_t i = 0; i < count[c]; ++i) {
+      out.push_back(NodeBandwidth{classes_[c].capability, static_cast<int>(c)});
+    }
+  }
+  rng.shuffle(out);
+  return out;
+}
+
+}  // namespace hg::scenario

@@ -1,0 +1,147 @@
+// Experiment runner: assembles a complete deployment — simulator, network
+// fabric, membership, one protocol node + player per peer, a stream source,
+// optional churn — runs it, and exposes everything the report builders need.
+//
+// This is the in-silico equivalent of the paper's 270-node PlanetLab
+// testbed driver.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/heap_node.hpp"
+#include "membership/directory.hpp"
+#include "net/fabric.hpp"
+#include "scenario/distribution.hpp"
+#include "sim/simulator.hpp"
+#include "stream/lag_analyzer.hpp"
+#include "stream/player.hpp"
+#include "stream/source.hpp"
+
+namespace hg::scenario {
+
+struct ChurnEvent {
+  sim::SimTime at;
+  double fraction = 0.0;  // share of receivers crashed simultaneously
+};
+
+struct ExperimentConfig {
+  // Population: receivers; the source is an extra node (id 0).
+  std::size_t node_count = 270;
+
+  core::Mode mode = core::Mode::kHeap;
+  double fanout = 7.0;  // fixed fanout (standard) / average fanout (HEAP)
+  BandwidthDistribution distribution = BandwidthDistribution::ref691();
+
+  stream::StreamConfig stream;        // paper defaults (551 kbps, 101+9, 1316 B)
+  std::uint32_t stream_windows = 16;  // ~31 s of stream at paper rates
+  sim::SimTime stream_start = sim::SimTime::sec(2.0);
+  // Extra simulated time after the last packet so late deliveries and the
+  // lag tail (up to 60 s in the paper's plots) are observable.
+  sim::SimTime tail = sim::SimTime::sec(65.0);
+
+  // The source is a well-provisioned peer; it gossips with the same average
+  // fanout but does not adapt (its capability would dwarf the estimate).
+  BitRate source_capability = BitRate::mbps(10);
+
+  // Network.
+  double loss_rate = 0.005;
+  net::QueueDiscipline discipline = net::QueueDiscipline::kFifo;
+  std::optional<net::PlanetLabLatencyConfig> latency = net::PlanetLabLatencyConfig{};
+
+  // PlanetLab background-load noise: this share of nodes actually delivers
+  // only 30-70% of its nominal capability (paper §3.1 observed 5-7%).
+  double noise_fraction = 0.0;
+
+  // Churn (Fig. 10): crashes + failure-detection latency.
+  std::vector<ChurnEvent> churn;
+  membership::DetectionConfig detection;
+
+  // Protocol details.
+  sim::SimTime gossip_period = sim::SimTime::ms(200);
+  sim::SimTime retransmit_period = sim::SimTime::ms(1000);
+  int max_retransmits = 8;
+  aggregation::AggregationConfig aggregation;
+  double max_fanout = 64.0;
+  core::FanoutRounding rounding = core::FanoutRounding::kRandomized;
+  bool smart_receivers = true;
+
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] sim::SimTime stream_end() const {
+    return stream_start + sim::SimTime::sec(stream.window_duration_sec() *
+                                            static_cast<double>(stream_windows));
+  }
+  [[nodiscard]] sim::SimTime run_end() const { return stream_end() + tail; }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  // Builds the deployment and runs to run_end(). Call once.
+  void run();
+
+  // --- results (valid after run()) ---------------------------------------
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const stream::LagAnalyzer& analyzer() const { return *analyzer_; }
+  [[nodiscard]] std::size_t receivers() const { return receivers_.size(); }
+
+  struct ReceiverInfo {
+    NodeId id;
+    int class_index = 0;
+    BitRate capability;          // declared/advertised
+    BitRate actual_capacity;     // enforced by the fabric (noise may derate)
+    bool crashed = false;
+    sim::SimTime crashed_at = sim::SimTime::max();
+    // Wire bytes this node had uploaded when the stream ended.
+    std::int64_t uploaded_bytes_at_stream_end = 0;
+  };
+
+  [[nodiscard]] const ReceiverInfo& info(std::size_t i) const { return receivers_[i].info; }
+  [[nodiscard]] const stream::Player& player(std::size_t i) const {
+    return *receivers_[i].player;
+  }
+  [[nodiscard]] const core::HeapNode& node(std::size_t i) const {
+    return *receivers_[i].node;
+  }
+  [[nodiscard]] const net::TrafficMeter& meter(std::size_t i) const;
+  [[nodiscard]] const net::NetworkFabric& fabric() const { return *fabric_; }
+  [[nodiscard]] const stream::StreamSource& source() const { return *source_; }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+  // Mean upload usage (fraction of actual capacity) over the stream
+  // interval, including all protocol overhead — Fig. 4's quantity.
+  [[nodiscard]] double upload_usage(std::size_t i) const;
+
+  // Players of all receivers that never crashed (series for Figs. 5-10).
+  [[nodiscard]] std::vector<const stream::Player*> surviving_players() const;
+  [[nodiscard]] std::vector<const stream::Player*> players_of_class(int class_index) const;
+
+ private:
+  struct Receiver {
+    ReceiverInfo info;
+    std::unique_ptr<core::HeapNode> node;
+    std::unique_ptr<stream::Player> player;
+  };
+
+  void build();
+  void apply_churn(const ChurnEvent& event);
+
+  ExperimentConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::NetworkFabric> fabric_;
+  std::unique_ptr<membership::Directory> directory_;
+  std::unique_ptr<core::HeapNode> source_node_;
+  std::unique_ptr<stream::StreamSource> source_;
+  std::unique_ptr<stream::LagAnalyzer> analyzer_;
+  std::vector<Receiver> receivers_;
+  bool ran_ = false;
+};
+
+}  // namespace hg::scenario

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hg::sim {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+  alive_.reset();
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  auto alive = std::make_shared<bool>(true);
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), alive});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  return EventHandle{std::move(alive)};
+}
+
+void EventQueue::schedule_fire_and_forget(SimTime at, EventFn fn) {
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), nullptr});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void EventQueue::pop_dead() {
+  while (!heap_.empty() && heap_.front().alive && !*heap_.front().alive) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::prune_and_empty() {
+  pop_dead();
+  return heap_.empty();
+}
+
+bool EventQueue::run_next(SimTime& now) {
+  pop_dead();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  HG_ASSERT_MSG(e.at >= now, "event queue must never run backwards in time");
+  now = e.at;
+  ++executed_;
+  if (e.alive) *e.alive = false;  // mark fired so handle.pending() is false
+  e.fn();
+  return true;
+}
+
+SimTime EventQueue::next_time() const {
+  HG_ASSERT(!heap_.empty());
+  return heap_.front().at;
+}
+
+}  // namespace hg::sim

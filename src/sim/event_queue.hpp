@@ -1,0 +1,81 @@
+// Pending-event set of the discrete-event simulator.
+//
+// A binary heap keyed by (time, sequence-number): events at equal times fire
+// in scheduling order, which keeps runs deterministic. Cancellation is lazy —
+// a cancelled entry stays in the heap and is skipped on pop — because the
+// dominant consumers (retransmission timers that almost always get cancelled)
+// are cheaper this way than with a tombstone-free structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hg::sim {
+
+using EventFn = std::function<void()>;
+
+// Token for cancelling a scheduled event. Default-constructed handles are
+// inert; cancel() on an already-fired or cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  // Schedules without allocating a cancellation token (hot path: network
+  // deliveries are never cancelled).
+  void schedule_fire_and_forget(SimTime at, EventFn fn);
+
+  // Pops and runs the earliest live event; returns false when empty.
+  // `now` is updated to the event's timestamp before the callback runs.
+  bool run_next(SimTime& now);
+
+  // Removes cancelled entries from the front, then reports whether a live
+  // event remains. O(1) amortized: each tombstone is popped exactly once.
+  [[nodiscard]] bool prune_and_empty();
+
+  // Entries in the heap, including cancelled-but-unpopped tombstones.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  // Precondition: prune_and_empty() returned false; next live timestamp.
+  [[nodiscard]] SimTime next_time() const;
+
+  // Total events executed so far (for perf accounting and tests).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;  // null => not cancellable
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void pop_dead();
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hg::sim

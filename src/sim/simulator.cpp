@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::sim {
+
+Simulator::Simulator(std::uint64_t seed) : root_rng_(seed) {}
+
+EventHandle Simulator::at(SimTime when, EventFn fn) {
+  HG_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventHandle Simulator::after(SimTime delay, EventFn fn) {
+  HG_ASSERT(delay >= SimTime::zero());
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::after_fire_and_forget(SimTime delay, EventFn fn) {
+  HG_ASSERT(delay >= SimTime::zero());
+  queue_.schedule_fire_and_forget(now_ + delay, std::move(fn));
+}
+
+void Simulator::PeriodicHandle::cancel() {
+  if (active_) *active_ = false;
+  active_.reset();
+}
+
+bool Simulator::PeriodicHandle::active() const { return active_ && *active_; }
+
+void Simulator::schedule_periodic(std::shared_ptr<bool> active, SimTime period,
+                                  std::shared_ptr<EventFn> fn) {
+  queue_.schedule_fire_and_forget(now_ + period, [this, active, period, fn]() {
+    if (!*active) return;
+    (*fn)();
+    if (*active) schedule_periodic(active, period, fn);
+  });
+}
+
+Simulator::PeriodicHandle Simulator::every(SimTime initial_delay, SimTime period, EventFn fn) {
+  HG_ASSERT(period > SimTime::zero());
+  PeriodicHandle handle;
+  handle.active_ = std::make_shared<bool>(true);
+  auto shared_fn = std::make_shared<EventFn>(std::move(fn));
+  auto active = handle.active_;
+  queue_.schedule_fire_and_forget(now_ + initial_delay, [this, active, period, shared_fn]() {
+    if (!*active) return;
+    (*shared_fn)();
+    if (*active) schedule_periodic(active, period, shared_fn);
+  });
+  return handle;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.prune_and_empty()) {
+    if (queue_.next_time() > until) break;
+    if (queue_.run_next(now_)) ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+std::uint64_t Simulator::run_to_completion() {
+  std::uint64_t ran = 0;
+  while (queue_.run_next(now_)) ++ran;
+  return ran;
+}
+
+}  // namespace hg::sim

@@ -1,0 +1,65 @@
+// The simulation driver: virtual clock + event loop + periodic timers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace hg::sim {
+
+class Simulator {
+ public:
+  // `seed` roots every derived random stream in the run.
+  explicit Simulator(std::uint64_t seed);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule at an absolute virtual time (must not be in the past).
+  EventHandle at(SimTime when, EventFn fn);
+  // Schedule after a delay from now.
+  EventHandle after(SimTime delay, EventFn fn);
+  // Non-cancellable fast path.
+  void after_fire_and_forget(SimTime delay, EventFn fn);
+
+  // Repeats `fn` every `period` until the returned handle is cancelled or the
+  // run ends. First invocation after `initial_delay`. The callback may cancel
+  // its own timer.
+  class PeriodicHandle {
+   public:
+    PeriodicHandle() = default;
+    void cancel();
+    [[nodiscard]] bool active() const;
+
+   private:
+    friend class Simulator;
+    std::shared_ptr<bool> active_;
+  };
+  PeriodicHandle every(SimTime initial_delay, SimTime period, EventFn fn);
+
+  // Runs until the queue drains or virtual time would exceed `until`.
+  // Returns the number of events executed by this call.
+  std::uint64_t run_until(SimTime until);
+
+  // Drain everything (tests; real experiments always bound time).
+  std::uint64_t run_to_completion();
+
+  // Derive a deterministic, component-specific random stream.
+  [[nodiscard]] Rng make_rng(std::uint64_t stream_tag) const { return root_rng_.fork(stream_tag); }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return queue_.executed(); }
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
+ private:
+  void schedule_periodic(std::shared_ptr<bool> active, SimTime period,
+                         std::shared_ptr<EventFn> fn);
+
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  Rng root_rng_;
+};
+
+}  // namespace hg::sim

@@ -1,0 +1,46 @@
+// Simulated time.
+//
+// SimTime is a count of microseconds since the start of the run. Strongly
+// typed so wall-clock numbers, durations and other integers cannot be mixed
+// up silently.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace hg::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime us(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1000}; }
+  [[nodiscard]] static constexpr SimTime sec(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::int64_t{0x7fffffffffffffff}};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_us() const { return us_; }
+  [[nodiscard]] constexpr double as_ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double as_sec() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.us_ + b.us_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.us_ - b.us_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    us_ += o.us_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.us_ * k}; }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace hg::sim

@@ -1,0 +1,136 @@
+#include "stream/lag_analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hg::stream {
+
+LagAnalyzer::LagAnalyzer(const StreamSource& source)
+    : config_(source.config()),
+      windows_(source.windows_total()),
+      t0_(source.publish_time(packet_id(0, 0))),
+      interval_us_(static_cast<std::int64_t>(config_.packet_interval_sec() * 1e6)) {
+  complete_time_.reserve(windows_);
+  for (std::uint32_t w = 0; w < windows_; ++w) {
+    complete_time_.push_back(source.window_complete_time(w));
+  }
+}
+
+sim::SimTime LagAnalyzer::packet_publish_time(gossip::EventId id) const {
+  const std::int64_t seq =
+      static_cast<std::int64_t>(id.window()) *
+          static_cast<std::int64_t>(config_.window_packets()) +
+      id.index();
+  return t0_ + sim::SimTime::us(seq * interval_us_);
+}
+
+std::vector<double> LagAnalyzer::window_decode_lags(const Player& p) const {
+  HG_ASSERT(p.windows_total() == windows_);
+  std::vector<double> lags;
+  lags.reserve(windows_);
+  for (std::uint32_t w = 0; w < windows_; ++w) {
+    const sim::SimTime dt = p.window(w).decode_time;
+    if (dt == sim::SimTime::max()) {
+      lags.push_back(kNever);
+    } else {
+      lags.push_back(std::max(0.0, (dt - complete_time_[w]).as_sec()));
+    }
+  }
+  return lags;
+}
+
+double LagAnalyzer::jitter_fraction(const Player& p, double lag_sec) const {
+  const auto lags = window_decode_lags(p);
+  const auto jittered = static_cast<double>(
+      std::count_if(lags.begin(), lags.end(), [&](double l) { return l > lag_sec; }));
+  return jittered / static_cast<double>(lags.size());
+}
+
+double LagAnalyzer::jitter_fraction_offline(const Player& p) const {
+  const auto lags = window_decode_lags(p);
+  const auto jittered = static_cast<double>(
+      std::count_if(lags.begin(), lags.end(), [](double l) { return l == kNever; }));
+  return jittered / static_cast<double>(lags.size());
+}
+
+std::optional<double> LagAnalyzer::lag_to_jitter_at_most(const Player& p,
+                                                         double max_jitter) const {
+  auto lags = window_decode_lags(p);
+  std::sort(lags.begin(), lags.end());
+  // Allow floor(max_jitter * W) jittered windows: the answer is the
+  // (W - allowed)-th smallest decode lag.
+  const auto allowed = static_cast<std::size_t>(max_jitter * static_cast<double>(lags.size()));
+  const std::size_t need = lags.size() - allowed;
+  HG_ASSERT(need >= 1);
+  const double lag = lags[need - 1];
+  if (std::isinf(lag)) return std::nullopt;
+  return lag;
+}
+
+std::optional<double> LagAnalyzer::mean_delivery_in_jittered(const Player& p,
+                                                             double lag_sec) const {
+  double sum = 0.0;
+  std::size_t jittered = 0;
+  for (std::uint32_t w = 0; w < windows_; ++w) {
+    const sim::SimTime deadline =
+        complete_time_[w] + sim::SimTime::us(static_cast<std::int64_t>(lag_sec * 1e6));
+    if (p.decodable_by(w, deadline)) continue;
+    ++jittered;
+    sum += static_cast<double>(p.data_arrived_by(w, deadline)) /
+           static_cast<double>(config_.data_per_window);
+  }
+  if (jittered == 0) return std::nullopt;
+  return sum / static_cast<double>(jittered);
+}
+
+std::vector<double> LagAnalyzer::packet_delivery_lags(const Player& p) const {
+  std::vector<double> lags;
+  lags.reserve(static_cast<std::size_t>(windows_) * config_.data_per_window);
+  for (std::uint32_t w = 0; w < windows_; ++w) {
+    const Player::WindowRecord& rec = p.window(w);
+    const sim::SimTime decode = rec.decode_time;
+    for (std::uint16_t i = 0; i < config_.data_per_window; ++i) {
+      const sim::SimTime arrival = rec.arrival[i];
+      const sim::SimTime viewable = std::min(arrival, decode);
+      if (viewable == sim::SimTime::max()) {
+        lags.push_back(kNever);
+      } else {
+        const sim::SimTime published = packet_publish_time(packet_id(w, i));
+        lags.push_back(std::max(0.0, (viewable - published).as_sec()));
+      }
+    }
+  }
+  return lags;
+}
+
+std::optional<double> LagAnalyzer::lag_to_stream_fraction(const Player& p,
+                                                          double fraction) const {
+  auto lags = packet_delivery_lags(p);
+  std::sort(lags.begin(), lags.end());
+  const auto need = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(lags.size())));
+  HG_ASSERT(need >= 1 && need <= lags.size());
+  const double lag = lags[need - 1];
+  if (std::isinf(lag)) return std::nullopt;
+  return lag;
+}
+
+std::vector<double> LagAnalyzer::per_window_decode_percent(
+    std::span<const Player* const> players, double lag_sec, std::size_t population) const {
+  HG_ASSERT(population > 0);
+  std::vector<double> pct(windows_, 0.0);
+  for (std::uint32_t w = 0; w < windows_; ++w) {
+    const sim::SimTime deadline =
+        complete_time_[w] + sim::SimTime::us(static_cast<std::int64_t>(lag_sec * 1e6));
+    std::size_t ok = 0;
+    for (const Player* p : players) {
+      if (p->decodable_by(w, deadline)) ++ok;
+    }
+    pct[w] = 100.0 * static_cast<double>(ok) / static_cast<double>(population);
+  }
+  return pct;
+}
+
+}  // namespace hg::stream

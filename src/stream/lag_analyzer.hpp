@@ -1,0 +1,79 @@
+// Post-run analysis: turns per-packet arrival timestamps into the paper's
+// metrics. One simulation yields every lag curve simultaneously, because a
+// window's decodability at lag L is a pure function of recorded times.
+//
+// Definitions (paper §3.2):
+//   stream lag       — difference between publication and viewing time
+//   jittered window  — not decodable (>= k packets) by its play deadline
+//   stream quality   — fraction of windows that are jitter-free
+//   delivery ratio   — data packets received / k inside a window (systematic
+//                      coding keeps raw data viewable even without decode)
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "metrics/percentile.hpp"
+#include "stream/player.hpp"
+#include "stream/source.hpp"
+
+namespace hg::stream {
+
+class LagAnalyzer {
+ public:
+  // Timing is taken from the source's fixed emission schedule.
+  explicit LagAnalyzer(const StreamSource& source);
+
+  [[nodiscard]] std::uint32_t windows_total() const { return windows_; }
+
+  // Lag (seconds) each window needs to be decodable: decode_time minus the
+  // window's publish-complete time; +inf if never decoded. Clamped >= 0.
+  [[nodiscard]] std::vector<double> window_decode_lags(const Player& p) const;
+
+  // Fraction of windows NOT decodable at lag L (the paper's "% jittered").
+  [[nodiscard]] double jitter_fraction(const Player& p, double lag_sec) const;
+  // Offline viewing: every window that was ever decodable counts.
+  [[nodiscard]] double jitter_fraction_offline(const Player& p) const;
+
+  // Smallest lag with jitter fraction <= max_jitter (e.g. 0 for "no jitter",
+  // 0.01 for "max 1% jitter"); nullopt if even offline viewing has more.
+  [[nodiscard]] std::optional<double> lag_to_jitter_at_most(const Player& p,
+                                                            double max_jitter) const;
+
+  // Mean delivery ratio across the windows that are jittered at lag L
+  // (Table 2); nullopt when no window is jittered.
+  [[nodiscard]] std::optional<double> mean_delivery_in_jittered(const Player& p,
+                                                                double lag_sec) const;
+
+  // Per-data-packet lag to become viewable: a packet is viewable when it
+  // arrives, or when its window decodes, whichever is first. Lag is measured
+  // against the packet's own publication time; +inf if never. This feeds the
+  // Fig. 1/2/3 curves: the lag for "at least 99% of the stream" is the 99th
+  // percentile of these values.
+  [[nodiscard]] std::vector<double> packet_delivery_lags(const Player& p) const;
+  [[nodiscard]] std::optional<double> lag_to_stream_fraction(const Player& p,
+                                                             double fraction) const;
+
+  // Fig. 10 series: for each window, the percentage of `population` nodes
+  // whose player decoded it within lag L of its publish-complete time.
+  [[nodiscard]] std::vector<double> per_window_decode_percent(
+      std::span<const Player* const> players, double lag_sec, std::size_t population) const;
+
+  [[nodiscard]] sim::SimTime window_complete_time(std::uint32_t w) const {
+    return complete_time_[w];
+  }
+  [[nodiscard]] sim::SimTime packet_publish_time(gossip::EventId id) const;
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+ private:
+  StreamConfig config_;
+  std::uint32_t windows_;
+  sim::SimTime t0_;
+  std::int64_t interval_us_;
+  std::vector<sim::SimTime> complete_time_;
+};
+
+}  // namespace hg::stream

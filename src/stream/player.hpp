@@ -1,0 +1,92 @@
+// The receiving side of the streaming application.
+//
+// Records the arrival time of every distinct stream packet. All of the
+// paper's metrics are *post-hoc* functions of these timestamps (one run
+// yields the jitter/lag curves at every lag simultaneously):
+//   - a window is decodable at lag L iff >= k of its packets arrived by
+//     (window publish-complete time + L)   [MDS counting rule]
+//   - stream quality at lag L = fraction of windows decodable at L
+//   - delivery ratio inside a jittered window = data packets arrived by the
+//     deadline / k (systematic code: raw data packets remain viewable)
+//
+// In "smart receiver" mode (default, matching a real player), the player
+// (a) tells the gossip engine to stop requesting packets of a window that
+// is already decodable — those serves would be pure waste — and (b) keeps a
+// per-window request budget: it grants requests only while
+// received + outstanding < k + slack, because any k of the n coded packets
+// decode the window. Grants expire after a TTL so a permanently lost serve
+// cannot wedge the budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gossip/messages.hpp"
+#include "sim/simulator.hpp"
+#include "stream/packet.hpp"
+
+namespace hg::stream {
+
+class Player {
+ public:
+  using CancelWindowFn = std::function<void(std::uint32_t window)>;
+
+  Player(sim::Simulator& simulator, StreamConfig config, std::uint32_t windows_total);
+
+  // Wire into the gossip engine: deliver callback + request gate. A `true`
+  // from should_request is a grant — the engine will request the id — so
+  // the call mutates the budget accounting.
+  void on_deliver(const gossip::Event& event);
+  [[nodiscard]] bool should_request(gossip::EventId id);
+
+  // Smart-receiver hook: invoked once per window when it becomes decodable.
+  void set_cancel_window(CancelWindowFn fn) { cancel_window_ = std::move(fn); }
+  void set_smart(bool smart) { smart_ = smart; }
+  // Extra requests granted beyond the k needed for decode (default 3).
+  void set_request_slack(std::uint32_t slack) { request_slack_ = slack; }
+  // Grants not answered within this TTL stop counting as outstanding.
+  void set_grant_ttl(sim::SimTime ttl) { grant_ttl_ = ttl; }
+
+  // --- post-run queries -------------------------------------------------
+  struct WindowRecord {
+    std::vector<sim::SimTime> arrival;  // per packet index; SimTime::max() = never
+    std::uint32_t received = 0;         // distinct packets
+    std::uint32_t data_received = 0;    // distinct data packets
+    sim::SimTime decode_time = sim::SimTime::max();  // when k-th packet arrived
+    std::vector<sim::SimTime> grant_times;           // outstanding request grants
+  };
+
+  [[nodiscard]] const WindowRecord& window(std::uint32_t w) const { return windows_[w]; }
+  [[nodiscard]] std::uint32_t windows_total() const {
+    return static_cast<std::uint32_t>(windows_.size());
+  }
+
+  // Is window w decodable by `deadline`?
+  [[nodiscard]] bool decodable_by(std::uint32_t w, sim::SimTime deadline) const {
+    return windows_[w].decode_time <= deadline;
+  }
+  // Data packets of window w that arrived by `deadline` (<= k).
+  [[nodiscard]] std::uint32_t data_arrived_by(std::uint32_t w, sim::SimTime deadline) const;
+
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] const StreamConfig& config() const { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  StreamConfig config_;
+  std::vector<WindowRecord> windows_;
+  bool smart_ = true;
+  std::uint32_t request_slack_ = 3;
+  sim::SimTime grant_ttl_ = sim::SimTime::sec(10.0);
+  CancelWindowFn cancel_window_;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t requests_deferred_ = 0;
+
+ public:
+  [[nodiscard]] std::uint64_t requests_deferred() const { return requests_deferred_; }
+};
+
+}  // namespace hg::stream

@@ -1,0 +1,77 @@
+#include "tree/static_tree.hpp"
+
+#include "common/assert.hpp"
+#include "net/serde.hpp"
+
+namespace hg::tree {
+
+StaticTree::StaticTree(sim::Simulator& simulator, net::NetworkFabric& fabric,
+                       std::size_t nodes, std::size_t arity, DeliverFn deliver)
+    : sim_(simulator), fabric_(fabric), nodes_(nodes), arity_(arity),
+      deliver_(std::move(deliver)) {
+  HG_ASSERT(arity_ >= 1);
+  HG_ASSERT(deliver_ != nullptr);
+}
+
+std::vector<NodeId> StaticTree::children_of(NodeId node) const {
+  std::vector<NodeId> out;
+  const std::uint64_t base = std::uint64_t{node.value()} * arity_ + 1;
+  for (std::size_t k = 0; k < arity_; ++k) {
+    const std::uint64_t child = base + k;
+    if (child >= nodes_) break;
+    out.push_back(NodeId{static_cast<std::uint32_t>(child)});
+  }
+  return out;
+}
+
+std::size_t StaticTree::depth() const {
+  std::size_t d = 0;
+  std::uint64_t covered = 1, level = 1;
+  while (covered < nodes_) {
+    level *= arity_;
+    covered += level;
+    ++d;
+  }
+  return d;
+}
+
+void StaticTree::publish(const gossip::Event& event) {
+  deliver_(NodeId{0}, event);
+  forward(NodeId{0}, event);
+}
+
+void StaticTree::forward(NodeId from, const gossip::Event& event) {
+  // Same wire format as a gossip serve, tagged kTreePush.
+  net::ByteWriter w(16 + event.payload_size());
+  w.u8(static_cast<std::uint8_t>(gossip::MsgTag::kTreePush));
+  w.u32(from.value());
+  w.u64(event.id.raw());
+  if (event.payload) {
+    w.bytes(*event.payload);
+  } else {
+    w.varint(0);
+  }
+  const auto bytes = std::make_shared<const std::vector<std::uint8_t>>(w.take());
+  for (NodeId child : children_of(from)) {
+    fabric_.send(from, child, net::MsgClass::kTree, bytes);
+  }
+}
+
+void StaticTree::on_datagram(NodeId node, const net::Datagram& d) {
+  net::ByteReader r(*d.bytes);
+  const auto tag = r.u8();
+  if (!tag || *tag != static_cast<std::uint8_t>(gossip::MsgTag::kTreePush)) return;
+  const auto from = r.u32();
+  const auto raw = r.u64();
+  if (!from || !raw) return;
+  const auto payload = r.bytes();
+  if (!payload) return;
+  gossip::Event event;
+  event.id = gossip::EventId::from_raw(*raw);
+  event.payload =
+      std::make_shared<const std::vector<std::uint8_t>>(payload->begin(), payload->end());
+  deliver_(node, event);
+  forward(node, event);
+}
+
+}  // namespace hg::tree

@@ -1,0 +1,48 @@
+// Static k-ary push tree — the intro's strawman baseline.
+//
+// "Our preliminary experiments revealed the difficulty of disseminating
+// through a static tree without any reconstruction even among 30 nodes."
+// Packets are pushed root -> children over the same lossy, upload-
+// constrained fabric, with no acknowledgements and no repair: one lost
+// datagram prunes an entire subtree for that packet.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gossip/messages.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace hg::tree {
+
+class StaticTree {
+ public:
+  // Node ids 0..n-1 are laid out heap-style: children of i are
+  // i*arity+1 .. i*arity+arity. Node 0 is the root (source).
+  using DeliverFn = std::function<void(NodeId node, const gossip::Event&)>;
+
+  StaticTree(sim::Simulator& simulator, net::NetworkFabric& fabric, std::size_t nodes,
+             std::size_t arity, DeliverFn deliver);
+
+  // Root-side: deliver locally and push down the tree.
+  void publish(const gossip::Event& event);
+
+  // Receives a kTreePush datagram addressed to `node`.
+  void on_datagram(NodeId node, const net::Datagram& d);
+
+  [[nodiscard]] std::vector<NodeId> children_of(NodeId node) const;
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  void forward(NodeId from, const gossip::Event& event);
+
+  sim::Simulator& sim_;
+  net::NetworkFabric& fabric_;
+  std::size_t nodes_;
+  std::size_t arity_;
+  DeliverFn deliver_;
+};
+
+}  // namespace hg::tree

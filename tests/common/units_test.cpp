@@ -1,0 +1,55 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg {
+namespace {
+
+TEST(BitRate, Construction) {
+  EXPECT_EQ(BitRate::bps(1000).bits_per_sec(), 1000);
+  EXPECT_EQ(BitRate::kbps(512).bits_per_sec(), 512'000);
+  EXPECT_EQ(BitRate::mbps(3).bits_per_sec(), 3'000'000);
+  EXPECT_DOUBLE_EQ(BitRate::kbps(551).kbits_per_sec(), 551.0);
+}
+
+TEST(BitRate, Unlimited) {
+  EXPECT_TRUE(BitRate::unlimited().is_unlimited());
+  EXPECT_FALSE(BitRate::kbps(512).is_unlimited());
+}
+
+TEST(BitRate, Comparison) {
+  EXPECT_LT(BitRate::kbps(512), BitRate::mbps(1));
+  EXPECT_GT(BitRate::mbps(3), BitRate::kbps(768));
+}
+
+TEST(BitRate, Arithmetic) {
+  EXPECT_EQ(BitRate::kbps(512) + BitRate::kbps(256), BitRate::kbps(768));
+  EXPECT_DOUBLE_EQ(BitRate::mbps(2) / BitRate::mbps(1), 2.0);
+  EXPECT_EQ(BitRate::kbps(100) * 2.0, BitRate::kbps(200));
+}
+
+TEST(BitRate, ToString) {
+  EXPECT_EQ(to_string(BitRate::kbps(512)), "512 kbps");
+  EXPECT_EQ(to_string(BitRate::mbps(3)), "3 Mbps");
+  EXPECT_EQ(to_string(BitRate::unlimited()), "unlimited");
+}
+
+TEST(TransmissionTime, MatchesRateArithmetic) {
+  // 1000 bytes at 1 Mbps = 8000 bits / 1e6 bps = 8 ms.
+  EXPECT_EQ(transmission_time_us(1000, BitRate::mbps(1)), 8000);
+  // 1316-byte stream packet at 512 kbps ~= 20.6 ms: this is why serving
+  // saturates poor nodes in the paper.
+  EXPECT_NEAR(transmission_time_us(1316, BitRate::kbps(512)), 20563, 1);
+}
+
+TEST(TransmissionTime, UnlimitedIsInstant) {
+  EXPECT_EQ(transmission_time_us(1'000'000, BitRate::unlimited()), 0);
+}
+
+TEST(TransmissionTime, RoundsUp) {
+  // 1 byte at 1 Gbps = 0.008 us -> rounds up to 1 us.
+  EXPECT_EQ(transmission_time_us(1, BitRate::bps(1'000'000'000)), 1);
+}
+
+}  // namespace
+}  // namespace hg

@@ -1,0 +1,115 @@
+#include "core/fanout_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg::core {
+namespace {
+
+class FakeEstimator final : public aggregation::CapabilityEstimator {
+ public:
+  explicit FakeEstimator(double bps) : bps_(bps) {}
+  double average_capability_bps() const override { return bps_; }
+  void set(double bps) { bps_ = bps; }
+
+ private:
+  double bps_;
+};
+
+TEST(FixedFanout, IntegerIsExact) {
+  gossip::FixedFanout p(7.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.fanout_for_round(rng), 7u);
+  EXPECT_DOUBLE_EQ(p.current_target(), 7.0);
+}
+
+TEST(FixedFanout, FractionalAveragesOut) {
+  gossip::FixedFanout p(7.4);
+  Rng rng(2);
+  double sum = 0;
+  constexpr int kRounds = 100000;
+  for (int i = 0; i < kRounds; ++i) sum += static_cast<double>(p.fanout_for_round(rng));
+  EXPECT_NEAR(sum / kRounds, 7.4, 0.02);
+}
+
+TEST(AdaptiveFanout, PaperEquationFp) {
+  // ms-691: b̄=691 kbps, f=7. Expected targets: 512k -> 5.19, 1M -> 10.37,
+  // 3M -> 31.1 (paper Eq. 1 with the aggregation estimate).
+  FakeEstimator est(691'000.0);
+  AdaptiveFanoutConfig cfg;
+  AdaptiveFanout poor(BitRate::kbps(512), &est, cfg);
+  AdaptiveFanout mid(BitRate::kbps(1024), &est, cfg);
+  AdaptiveFanout rich(BitRate::kbps(3072), &est, cfg);
+  EXPECT_NEAR(poor.current_target(), 7.0 * 512.0 / 691.0, 0.01);
+  EXPECT_NEAR(mid.current_target(), 7.0 * 1024.0 / 691.0, 0.01);
+  EXPECT_NEAR(rich.current_target(), 7.0 * 3072.0 / 691.0, 0.01);
+}
+
+TEST(AdaptiveFanout, PopulationAverageEqualsBaseFanout) {
+  // The property HEAP relies on: sum of fanouts over the population equals
+  // n * f when the estimate is the true average (Eq. 1 + [15]).
+  FakeEstimator est(0.0);
+  std::vector<double> caps_kbps;
+  for (int i = 0; i < 85; ++i) caps_kbps.push_back(512);
+  for (int i = 0; i < 10; ++i) caps_kbps.push_back(1024);
+  for (int i = 0; i < 5; ++i) caps_kbps.push_back(3072);
+  double avg = 0;
+  for (double c : caps_kbps) avg += c;
+  avg /= static_cast<double>(caps_kbps.size());
+  est.set(avg * 1000.0);
+
+  double target_sum = 0;
+  Rng rng(3);
+  double drawn_sum = 0;
+  constexpr int kRounds = 2000;
+  for (double c : caps_kbps) {
+    AdaptiveFanout p(BitRate::kbps(c), &est, AdaptiveFanoutConfig{});
+    target_sum += p.current_target();
+    for (int r = 0; r < kRounds; ++r) drawn_sum += static_cast<double>(p.fanout_for_round(rng));
+  }
+  EXPECT_NEAR(target_sum / static_cast<double>(caps_kbps.size()), 7.0, 1e-9);
+  EXPECT_NEAR(drawn_sum / (static_cast<double>(caps_kbps.size()) * kRounds), 7.0, 0.05);
+}
+
+TEST(AdaptiveFanout, NoEstimateFallsBackToBase) {
+  FakeEstimator est(0.0);
+  AdaptiveFanout p(BitRate::kbps(512), &est, AdaptiveFanoutConfig{});
+  EXPECT_DOUBLE_EQ(p.current_target(), 7.0);
+}
+
+TEST(AdaptiveFanout, MaxFanoutCap) {
+  FakeEstimator est(100'000.0);  // avg 100 kbps, own 100 Mbps -> ratio 1000
+  AdaptiveFanoutConfig cfg;
+  cfg.max_fanout = 20.0;
+  AdaptiveFanout p(BitRate::mbps(100), &est, cfg);
+  EXPECT_DOUBLE_EQ(p.current_target(), 20.0);
+}
+
+TEST(AdaptiveFanout, TracksEstimateChanges) {
+  FakeEstimator est(1'000'000.0);
+  AdaptiveFanout p(BitRate::kbps(1000), &est, AdaptiveFanoutConfig{});
+  EXPECT_NEAR(p.current_target(), 7.0, 1e-9);
+  est.set(500'000.0);  // average halves -> this node is now twice as capable
+  EXPECT_NEAR(p.current_target(), 14.0, 1e-9);
+}
+
+TEST(AdaptiveFanout, FloorRoundingBiasesLow) {
+  FakeEstimator est(691'000.0);
+  AdaptiveFanoutConfig cfg;
+  cfg.rounding = FanoutRounding::kFloor;
+  AdaptiveFanout p(BitRate::kbps(512), &est, cfg);  // target 5.19
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(p.fanout_for_round(rng), 5u);
+}
+
+TEST(AdaptiveFanout, RandomizedRoundingIsExactInExpectation) {
+  FakeEstimator est(691'000.0);
+  AdaptiveFanout p(BitRate::kbps(512), &est, AdaptiveFanoutConfig{});
+  Rng rng(5);
+  double sum = 0;
+  constexpr int kRounds = 200000;
+  for (int i = 0; i < kRounds; ++i) sum += static_cast<double>(p.fanout_for_round(rng));
+  EXPECT_NEAR(sum / kRounds, 7.0 * 512.0 / 691.0, 0.01);
+}
+
+}  // namespace
+}  // namespace hg::core

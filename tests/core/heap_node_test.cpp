@@ -1,0 +1,112 @@
+#include "core/heap_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg::core {
+namespace {
+
+struct NodePair {
+  sim::Simulator sim{17};
+  net::NetworkFabric fabric;
+  membership::Directory directory;
+  std::vector<std::unique_ptr<HeapNode>> nodes;
+
+  explicit NodePair(std::size_t n, Mode mode, BitRate cap = BitRate::kbps(1000))
+      : fabric(sim, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(10)),
+               std::make_unique<net::NoLoss>()),
+        directory(sim, membership::DetectionConfig{}) {
+    for (std::uint32_t i = 0; i < n; ++i) directory.add_node(NodeId{i});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      NodeConfig cfg;
+      cfg.mode = mode;
+      cfg.capability = cap;
+      nodes.push_back(std::make_unique<HeapNode>(sim, fabric, directory, NodeId{i}, cfg));
+      fabric.register_node(NodeId{i}, BitRate::unlimited(),
+                           [n = nodes.back().get()](const net::Datagram& d) {
+                             n->on_datagram(d);
+                           });
+    }
+    for (auto& n_ : nodes) n_->start();
+  }
+};
+
+TEST(HeapNode, StandardModeHasNoAggregator) {
+  NodePair p(3, Mode::kStandard);
+  EXPECT_EQ(p.nodes[0]->aggregator(), nullptr);
+  EXPECT_DOUBLE_EQ(p.nodes[0]->fanout_policy().current_target(), 7.0);
+}
+
+TEST(HeapNode, HeapModeRunsAggregation) {
+  NodePair p(10, Mode::kHeap);
+  ASSERT_NE(p.nodes[0]->aggregator(), nullptr);
+  p.sim.run_until(sim::SimTime::sec(10));
+  // Homogeneous capabilities: estimate equals own capability, fanout stays 7.
+  EXPECT_GT(p.nodes[0]->aggregator()->known_origins(), 5u);
+  EXPECT_NEAR(p.nodes[0]->aggregator()->average_capability_bps(), 1'000'000.0, 1.0);
+  EXPECT_NEAR(p.nodes[0]->fanout_policy().current_target(), 7.0, 0.01);
+}
+
+TEST(HeapNode, DispatchRoutesGossipAndAggregation) {
+  NodePair p(5, Mode::kHeap);
+  p.nodes[0]->publish(gossip::Event{
+      gossip::EventId{0, 0}, std::make_shared<const std::vector<std::uint8_t>>(64, 1)});
+  p.sim.run_until(sim::SimTime::sec(5));
+  // Gossip events delivered everywhere AND aggregation records exchanged,
+  // all over the single per-node datagram callback.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_TRUE(p.nodes[i]->gossip().has_delivered(gossip::EventId{0, 0})) << i;
+    EXPECT_GT(p.nodes[i]->aggregator()->known_origins(), 0u) << i;
+  }
+}
+
+TEST(HeapNode, MalformedDatagramIsIgnored) {
+  NodePair p(2, Mode::kHeap);
+  auto junk = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef});
+  p.fabric.send(NodeId{0}, NodeId{1}, net::MsgClass::kOther, junk);
+  p.sim.run_until(sim::SimTime::sec(1));  // must not crash
+  EXPECT_EQ(p.nodes[1]->gossip().stats().events_delivered, 0u);
+}
+
+TEST(HeapNode, FreeriderAdvertisingLowCapabilityContributesLess) {
+  // §5 "nodes would pretend to be poor in order not to contribute": a node
+  // that *declares* a fraction of its true capability gets a matching
+  // fanout reduction — the attack HEAP's incentive discussion worries about.
+  sim::Simulator sim(23);
+  net::NetworkFabric fabric(sim, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(10)),
+                            std::make_unique<net::NoLoss>());
+  membership::Directory directory(sim, membership::DetectionConfig{});
+  constexpr std::size_t kN = 20;
+  std::vector<std::unique_ptr<HeapNode>> nodes;
+  for (std::uint32_t i = 0; i < kN; ++i) directory.add_node(NodeId{i});
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    NodeConfig cfg;
+    cfg.mode = Mode::kHeap;
+    // Node 5 is a freerider: true capacity 1 Mbps, declares 128 kbps.
+    cfg.capability = (i == 5) ? BitRate::kbps(128) : BitRate::kbps(1000);
+    nodes.push_back(std::make_unique<HeapNode>(sim, fabric, directory, NodeId{i}, cfg));
+    fabric.register_node(NodeId{i}, BitRate::kbps(1000),
+                         [n = nodes.back().get()](const net::Datagram& d) {
+                           n->on_datagram(d);
+                         });
+  }
+  for (auto& n : nodes) n->start();
+  sim.run_until(sim::SimTime::sec(15));
+
+  const double honest_target = nodes[1]->fanout_policy().current_target();
+  const double freerider_target = nodes[5]->fanout_policy().current_target();
+  EXPECT_NEAR(freerider_target / honest_target, 128.0 / 1000.0, 0.03);
+}
+
+TEST(HeapNode, StopHaltsActivity) {
+  NodePair p(5, Mode::kHeap);
+  p.sim.run_until(sim::SimTime::sec(2));
+  p.nodes[0]->stop();
+  const auto sent_before = p.fabric.meter(NodeId{0}).total_offered_bytes();
+  p.sim.run_until(sim::SimTime::sec(10));
+  const auto sent_after = p.fabric.meter(NodeId{0}).total_offered_bytes();
+  EXPECT_EQ(sent_before, sent_after);
+}
+
+}  // namespace
+}  // namespace hg::core

@@ -1,0 +1,139 @@
+#include "fec/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hg::fec {
+namespace {
+
+TEST(GF256, AddIsXor) {
+  EXPECT_EQ(GF256::add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(GF256::add(0xff, 0xff), 0);
+}
+
+TEST(GF256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(GF256::mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(GF256, MulKnownVector) {
+  // 0x57 * 0x83 = 0xc1 under the AES polynomial 0x11b.
+  EXPECT_EQ(GF256::mul(0x57, 0x83), 0xc1);
+  EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1b);  // overflow reduction case
+}
+
+TEST(GF256, MulCommutative) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                GF256::mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GF256, MulAssociative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 23) {
+      for (int c = 1; c < 256; c += 31) {
+        const auto ab_c = GF256::mul(GF256::mul(static_cast<std::uint8_t>(a),
+                                                static_cast<std::uint8_t>(b)),
+                                     static_cast<std::uint8_t>(c));
+        const auto a_bc = GF256::mul(static_cast<std::uint8_t>(a),
+                                     GF256::mul(static_cast<std::uint8_t>(b),
+                                                static_cast<std::uint8_t>(c)));
+        EXPECT_EQ(ab_c, a_bc);
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributiveOverAdd) {
+  for (int a = 0; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 19) {
+      for (int c = 0; c < 256; c += 29) {
+        const auto lhs = GF256::mul(static_cast<std::uint8_t>(a),
+                                    GF256::add(static_cast<std::uint8_t>(b),
+                                               static_cast<std::uint8_t>(c)));
+        const auto rhs = GF256::add(
+            GF256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+            GF256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(c)));
+        EXPECT_EQ(lhs, rhs);
+      }
+    }
+  }
+}
+
+TEST(GF256, EveryNonZeroHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto inv = GF256::inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 7) {
+      const auto prod = GF256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      EXPECT_EQ(GF256::div(prod, static_cast<std::uint8_t>(b)), a);
+    }
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 37) {
+    std::uint8_t acc = 1;
+    for (unsigned p = 0; p < 20; ++p) {
+      EXPECT_EQ(GF256::pow(static_cast<std::uint8_t>(a), p), acc);
+      acc = GF256::mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // exp() cycles through all 255 non-zero elements.
+  std::vector<bool> seen(256, false);
+  for (unsigned i = 0; i < 255; ++i) {
+    const auto v = GF256::exp(i);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "generator order < 255";
+    seen[v] = true;
+  }
+}
+
+TEST(GF256, MulAddSliceMatchesScalar) {
+  std::vector<std::uint8_t> dst(257), src(257), expect(257);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint8_t>(i * 31);
+    src[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const std::uint8_t coeff = 0x8e;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    expect[i] = GF256::add(dst[i], GF256::mul(coeff, src[i]));
+  }
+  GF256::mul_add_slice(dst.data(), src.data(), dst.size(), coeff);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(GF256, MulAddSliceCoeffZeroIsNoop) {
+  std::vector<std::uint8_t> dst{1, 2, 3}, src{9, 9, 9};
+  auto orig = dst;
+  GF256::mul_add_slice(dst.data(), src.data(), dst.size(), 0);
+  EXPECT_EQ(dst, orig);
+}
+
+TEST(GF256, ScaleSliceMatchesScalar) {
+  std::vector<std::uint8_t> dst(100);
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = static_cast<std::uint8_t>(i + 1);
+  auto expect = dst;
+  const std::uint8_t coeff = 0x1d;
+  for (auto& v : expect) v = GF256::mul(v, coeff);
+  GF256::scale_slice(dst.data(), dst.size(), coeff);
+  EXPECT_EQ(dst, expect);
+}
+
+}  // namespace
+}  // namespace hg::fec

@@ -1,0 +1,125 @@
+#include "fec/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fec/gf256.hpp"
+
+namespace hg::fec {
+namespace {
+
+Matrix random_invertible(std::size_t n, Rng& rng) {
+  // Random matrices over GF(256) are invertible with probability ~0.996;
+  // retry until one is (verified by inverting).
+  for (;;) {
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m.set(r, c, static_cast<std::uint8_t>(rng.below(256)));
+      }
+    }
+    // Cheap invertibility probe: try to invert; inverted() asserts on
+    // singular, so do a manual rank check first.
+    Matrix work = m;
+    bool singular = false;
+    for (std::size_t col = 0; col < n && !singular; ++col) {
+      std::size_t pivot = col;
+      while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+      if (pivot == n) {
+        singular = true;
+        break;
+      }
+      if (pivot != col) {
+        for (std::size_t c = 0; c < n; ++c) std::swap(work.row(col)[c], work.row(pivot)[c]);
+      }
+      const std::uint8_t inv = GF256::inv(work.at(col, col));
+      GF256::scale_slice(work.row(col), n, inv);
+      for (std::size_t r = col + 1; r < n; ++r) {
+        GF256::mul_add_slice(work.row(r), work.row(col), n, work.at(r, col));
+      }
+    }
+    if (!singular) return m;
+  }
+}
+
+TEST(Matrix, IdentityTimesAnything) {
+  Rng rng(5);
+  Matrix m = random_invertible(8, rng);
+  EXPECT_EQ(Matrix::identity(8).multiply(m), m);
+  EXPECT_EQ(m.multiply(Matrix::identity(8)), m);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  Rng rng(6);
+  for (std::size_t n : {1UL, 2UL, 3UL, 8UL, 16UL, 32UL}) {
+    Matrix m = random_invertible(n, rng);
+    EXPECT_EQ(m.multiply(m.inverted()), Matrix::identity(n)) << "n=" << n;
+    EXPECT_EQ(m.inverted().multiply(m), Matrix::identity(n)) << "n=" << n;
+  }
+}
+
+TEST(Matrix, VandermondeStructure) {
+  Matrix v = Matrix::vandermonde(5, 3);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(v.at(r, 0), 1);
+    const auto point = static_cast<std::uint8_t>(r + 1);
+    EXPECT_EQ(v.at(r, 1), point);
+    EXPECT_EQ(v.at(r, 2), GF256::mul(point, point));
+  }
+}
+
+TEST(Matrix, VandermondeAnySquareRowSubsetInvertible) {
+  // The property the erasure code depends on: any k rows form an invertible
+  // matrix. Spot-check many random subsets.
+  const std::size_t k = 6, n = 12;
+  Matrix v = Matrix::vandermonde(n, k);
+  Rng rng(7);
+  std::vector<std::uint32_t> pick;
+  for (int trial = 0; trial < 50; ++trial) {
+    rng.sample_indices(n, k, pick);
+    std::vector<std::size_t> rows(pick.begin(), pick.end());
+    const Matrix sub = v.select_rows(rows);
+    EXPECT_EQ(sub.multiply(sub.inverted()), Matrix::identity(k));
+  }
+}
+
+TEST(Matrix, SelectRowsPreservesOrder) {
+  Matrix m(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    m.set(r, 0, static_cast<std::uint8_t>(r));
+    m.set(r, 1, static_cast<std::uint8_t>(r * 10));
+  }
+  const Matrix s = m.select_rows({3, 1});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 0), 3);
+  EXPECT_EQ(s.at(1, 0), 1);
+  EXPECT_EQ(s.at(1, 1), 10);
+}
+
+TEST(Matrix, MultiplyDimensions) {
+  Matrix a(2, 3), b(3, 4);
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 2), b(2, 2);
+  a.set(0, 0, 1);
+  a.set(0, 1, 2);
+  a.set(1, 0, 3);
+  a.set(1, 1, 4);
+  b.set(0, 0, 5);
+  b.set(0, 1, 6);
+  b.set(1, 0, 7);
+  b.set(1, 1, 8);
+  const Matrix c = a.multiply(b);
+  // GF arithmetic: c[0][0] = 1*5 ^ 2*7, etc.
+  EXPECT_EQ(c.at(0, 0), GF256::add(GF256::mul(1, 5), GF256::mul(2, 7)));
+  EXPECT_EQ(c.at(0, 1), GF256::add(GF256::mul(1, 6), GF256::mul(2, 8)));
+  EXPECT_EQ(c.at(1, 0), GF256::add(GF256::mul(3, 5), GF256::mul(4, 7)));
+  EXPECT_EQ(c.at(1, 1), GF256::add(GF256::mul(3, 6), GF256::mul(4, 8)));
+}
+
+}  // namespace
+}  // namespace hg::fec

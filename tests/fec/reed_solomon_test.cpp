@@ -1,0 +1,174 @@
+#include "fec/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hg::fec {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> random_shards(std::size_t k, std::size_t len,
+                                                     Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> shards(k, std::vector<std::uint8_t>(len));
+  for (auto& s : shards) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return shards;
+}
+
+TEST(ReedSolomon, SystematicEncodingMatrixShape) {
+  ReedSolomon rs(4, 2);
+  const Matrix& e = rs.encoding_matrix();
+  EXPECT_EQ(e.rows(), 6u);
+  EXPECT_EQ(e.cols(), 4u);
+}
+
+TEST(ReedSolomon, AllDataPresentDecodesTrivially) {
+  Rng rng(1);
+  ReedSolomon rs(4, 2);
+  auto data = random_shards(4, 64, rng);
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(6);
+  for (std::size_t i = 0; i < 4; ++i) shards[i] = data[i];
+  auto out = rs.decode(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(ReedSolomon, RecoversFromParityOnly) {
+  Rng rng(2);
+  ReedSolomon rs(3, 3);
+  auto data = random_shards(3, 32, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(6);
+  for (std::size_t i = 0; i < 3; ++i) shards[3 + i] = parity[i];
+  auto out = rs.decode(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(ReedSolomon, TooFewShardsFails) {
+  Rng rng(3);
+  ReedSolomon rs(4, 2);
+  auto data = random_shards(4, 16, rng);
+  auto parity = rs.encode(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(6);
+  shards[0] = data[0];
+  shards[4] = parity[0];
+  shards[5] = parity[1];  // only 3 of 4 required
+  EXPECT_FALSE(rs.decode(shards).has_value());
+}
+
+TEST(ReedSolomon, PaperGeometry101of110) {
+  // The paper's window: 101 data + 9 parity. Losing any 9 packets is fine.
+  Rng rng(4);
+  ReedSolomon rs(101, 9);
+  auto data = random_shards(101, 48, rng);
+  auto parity = rs.encode(data);
+  ASSERT_EQ(parity.size(), 9u);
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(110);
+  for (std::size_t i = 0; i < 101; ++i) shards[i] = data[i];
+  for (std::size_t i = 0; i < 9; ++i) shards[101 + i] = parity[i];
+  // Drop 9 random shards.
+  std::vector<std::uint32_t> drop;
+  rng.sample_indices(110, 9, drop);
+  for (auto d : drop) shards[d].reset();
+
+  auto out = rs.decode(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+
+  // Drop one more: decode must fail (MDS bound is tight).
+  for (std::size_t i = 0; i < 110; ++i) {
+    if (shards[i].has_value()) {
+      shards[i].reset();
+      break;
+    }
+  }
+  EXPECT_FALSE(rs.decode(shards).has_value());
+}
+
+struct RsParam {
+  std::size_t k, m, drop;
+};
+
+class ReedSolomonSweep : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonSweep, AnyKOfNReconstructs) {
+  const auto [k, m, drop] = GetParam();
+  Rng rng(1000 + k * 31 + m * 7 + drop);
+  ReedSolomon rs(k, m);
+  auto data = random_shards(k, 24, rng);
+  auto parity = rs.encode(data);
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(k + m);
+  for (std::size_t i = 0; i < k; ++i) shards[i] = data[i];
+  for (std::size_t i = 0; i < m; ++i) shards[k + i] = parity[i];
+
+  std::vector<std::uint32_t> to_drop;
+  rng.sample_indices(k + m, drop, to_drop);
+  for (auto d : to_drop) shards[d].reset();
+
+  auto out = rs.decode(shards);
+  if (drop <= m) {
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+  } else {
+    EXPECT_FALSE(out.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReedSolomonSweep,
+    ::testing::Values(RsParam{1, 1, 0}, RsParam{1, 1, 1}, RsParam{1, 1, 2},
+                      RsParam{2, 2, 2}, RsParam{4, 2, 1}, RsParam{4, 2, 2},
+                      RsParam{4, 2, 3}, RsParam{8, 4, 4}, RsParam{10, 3, 3},
+                      RsParam{16, 8, 8}, RsParam{32, 8, 8}, RsParam{50, 10, 10},
+                      RsParam{101, 9, 0}, RsParam{101, 9, 5}, RsParam{101, 9, 9},
+                      RsParam{101, 9, 10}, RsParam{100, 155, 150}),
+    [](const ::testing::TestParamInfo<RsParam>& info) {
+      return "k" + std::to_string(info.param.k) + "m" + std::to_string(info.param.m) +
+             "drop" + std::to_string(info.param.drop);
+    });
+
+TEST(ReedSolomon, ManyRandomErasurePatterns) {
+  Rng rng(9);
+  ReedSolomon rs(10, 4);
+  auto data = random_shards(10, 16, rng);
+  auto parity = rs.encode(data);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(14);
+    for (std::size_t i = 0; i < 10; ++i) shards[i] = data[i];
+    for (std::size_t i = 0; i < 4; ++i) shards[10 + i] = parity[i];
+    const std::size_t drop = rng.below(5);  // 0..4 <= m, always decodable
+    std::vector<std::uint32_t> to_drop;
+    rng.sample_indices(14, drop, to_drop);
+    for (auto d : to_drop) shards[d].reset();
+    auto out = rs.decode(shards);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+  }
+}
+
+TEST(ReedSolomon, EncodeIsLinear) {
+  // parity(a XOR b) == parity(a) XOR parity(b) — linearity of the code.
+  Rng rng(10);
+  ReedSolomon rs(4, 2);
+  auto a = random_shards(4, 8, rng);
+  auto b = random_shards(4, 8, rng);
+  auto pa = rs.encode(a);
+  auto pb = rs.encode(b);
+  std::vector<std::vector<std::uint8_t>> ab(4, std::vector<std::uint8_t>(8));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) ab[i][j] = a[i][j] ^ b[i][j];
+  }
+  auto pab = rs.encode(ab);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(pab[i][j], pa[i][j] ^ pb[i][j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hg::fec

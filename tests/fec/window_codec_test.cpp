@@ -1,0 +1,96 @@
+#include "fec/window_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hg::fec {
+namespace {
+
+WindowCodecConfig small_config() {
+  return WindowCodecConfig{.data_per_window = 7, .parity_per_window = 3, .packet_bytes = 100};
+}
+
+std::vector<std::vector<std::uint8_t>> random_window(const WindowCodecConfig& cfg, Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> pkts(cfg.data_per_window,
+                                              std::vector<std::uint8_t>(cfg.packet_bytes));
+  for (auto& p : pkts) {
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  return pkts;
+}
+
+TEST(WindowCodec, PaperDefaults) {
+  WindowCodec codec(WindowCodecConfig{});
+  EXPECT_EQ(codec.config().data_per_window, 101u);
+  EXPECT_EQ(codec.config().parity_per_window, 9u);
+  EXPECT_EQ(codec.config().packet_bytes, 1316u);
+  EXPECT_EQ(codec.window_packets(), 110u);
+}
+
+TEST(WindowCodec, DecodableIsCountingRule) {
+  WindowCodec codec(small_config());
+  EXPECT_FALSE(codec.decodable(0));
+  EXPECT_FALSE(codec.decodable(6));
+  EXPECT_TRUE(codec.decodable(7));
+  EXPECT_TRUE(codec.decodable(10));
+}
+
+TEST(WindowCodec, RoundTripWithErasures) {
+  Rng rng(1);
+  const auto cfg = small_config();
+  WindowCodec codec(cfg);
+  auto data = random_window(cfg, rng);
+  auto parity = codec.encode_window(data);
+  ASSERT_EQ(parity.size(), cfg.parity_per_window);
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(codec.window_packets());
+  for (std::size_t i = 0; i < cfg.data_per_window; ++i) received[i] = data[i];
+  for (std::size_t i = 0; i < cfg.parity_per_window; ++i) {
+    received[cfg.data_per_window + i] = parity[i];
+  }
+  // Drop 3 (== parity count).
+  received[0].reset();
+  received[3].reset();
+  received[8].reset();
+
+  auto out = codec.decode_window(received);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(WindowCodec, UndecodableBelowThreshold) {
+  Rng rng(2);
+  const auto cfg = small_config();
+  WindowCodec codec(cfg);
+  auto data = random_window(cfg, rng);
+  auto parity = codec.encode_window(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(codec.window_packets());
+  // Only 6 of 7 required packets arrive.
+  for (std::size_t i = 0; i < 4; ++i) received[i] = data[i];
+  received[7] = parity[0];
+  received[8] = parity[1];
+  EXPECT_FALSE(codec.decode_window(received).has_value());
+}
+
+TEST(WindowCodec, SystematicPacketsPassThrough) {
+  // Even an undecodable window yields whatever raw data packets arrived —
+  // the property behind the paper's "delivery ratio in jittered windows".
+  Rng rng(3);
+  const auto cfg = small_config();
+  WindowCodec codec(cfg);
+  auto data = random_window(cfg, rng);
+  auto parity = codec.encode_window(data);
+  // The data packets ARE the first k coded packets, unmodified.
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(codec.window_packets());
+  for (std::size_t i = 0; i < cfg.data_per_window; ++i) received[i] = data[i];
+  for (std::size_t i = 0; i < cfg.parity_per_window; ++i) {
+    received[cfg.data_per_window + i] = parity[i];
+  }
+  auto out = codec.decode_window(received);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+}  // namespace
+}  // namespace hg::fec

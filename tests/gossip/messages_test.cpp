@@ -1,0 +1,113 @@
+#include "gossip/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg::gossip {
+namespace {
+
+TEST(EventId, PackUnpack) {
+  const EventId id{12345, 109};
+  EXPECT_EQ(id.window(), 12345u);
+  EXPECT_EQ(id.index(), 109u);
+  EXPECT_EQ(EventId::from_raw(id.raw()), id);
+}
+
+TEST(EventId, Ordering) {
+  EXPECT_LT(EventId(1, 5), EventId(2, 0));
+  EXPECT_LT(EventId(1, 5), EventId(1, 6));
+}
+
+TEST(Messages, ProposeRoundTrip) {
+  ProposeMsg m{NodeId{42}, {EventId{1, 0}, EventId{1, 1}, EventId{2, 108}}};
+  auto buf = encode(m);
+  EXPECT_EQ(peek_tag(*buf), MsgTag::kPropose);
+  auto out = decode_propose(*buf);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->sender, NodeId{42});
+  EXPECT_EQ(out->ids, m.ids);
+}
+
+TEST(Messages, ProposeSizeMatchesPaperArithmetic) {
+  // 11 ids/propose (paper: 11.26 avg): 1 tag + 4 sender + 1 varint + 11*8.
+  std::vector<EventId> ids;
+  for (std::uint16_t i = 0; i < 11; ++i) ids.emplace_back(3, i);
+  auto buf = encode(ProposeMsg{NodeId{1}, ids});
+  EXPECT_EQ(buf->size(), 1u + 4u + 1u + 11u * 8u);
+}
+
+TEST(Messages, RequestRoundTrip) {
+  RequestMsg m{NodeId{7}, {EventId{9, 3}}};
+  auto out = decode_request(*encode(m));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->sender, NodeId{7});
+  EXPECT_EQ(out->ids, m.ids);
+}
+
+TEST(Messages, ServeRoundTripWithPayload) {
+  auto payload = std::make_shared<const std::vector<std::uint8_t>>(1316, 0x5a);
+  ServeMsg m{NodeId{3}, Event{EventId{4, 77}, payload}};
+  auto buf = encode(m);
+  EXPECT_GT(buf->size(), 1316u);
+  auto out = decode_serve(*buf);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->sender, NodeId{3});
+  EXPECT_EQ(out->event.id, (EventId{4, 77}));
+  ASSERT_TRUE(out->event.payload);
+  EXPECT_EQ(*out->event.payload, *payload);
+}
+
+TEST(Messages, ServeRoundTripEmptyPayload) {
+  ServeMsg m{NodeId{3}, Event{EventId{4, 77}, nullptr}};
+  auto out = decode_serve(*encode(m));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->event.payload_size(), 0u);
+}
+
+TEST(Messages, AggregationRoundTrip) {
+  AggregationMsg m{NodeId{9},
+                   {{NodeId{1}, 512'000, sim::SimTime::ms(100)},
+                    {NodeId{2}, 3'072'000, sim::SimTime::ms(250)}}};
+  auto out = decode_aggregation(*encode(m));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->records.size(), 2u);
+  EXPECT_EQ(out->records[0].origin, NodeId{1});
+  EXPECT_EQ(out->records[0].capability_bps, 512'000);
+  EXPECT_EQ(out->records[1].measured_at, sim::SimTime::ms(250));
+}
+
+TEST(Messages, AggregationCostMatchesPaperClaim) {
+  // "gossips the 10 freshest local capabilities every 200 ms, costing
+  // around 1 KB/s": 10 records * 20 B + header ~= 206 B, * 5/s ~= 1 KB/s.
+  std::vector<CapabilityRecord> records(10, {NodeId{1}, 1'000'000, sim::SimTime::ms(1)});
+  auto buf = encode(AggregationMsg{NodeId{0}, records});
+  const double per_sec = (static_cast<double>(buf->size()) + 28.0) * 5.0;  // + UDP/IP
+  EXPECT_LT(per_sec, 1300.0);
+  EXPECT_GT(per_sec, 800.0);
+}
+
+TEST(Messages, DecodeRejectsWrongTag) {
+  auto buf = encode(ProposeMsg{NodeId{1}, {EventId{1, 1}}});
+  EXPECT_FALSE(decode_request(*buf).has_value());
+  EXPECT_FALSE(decode_serve(*buf).has_value());
+  EXPECT_FALSE(decode_aggregation(*buf).has_value());
+}
+
+TEST(Messages, DecodeRejectsTruncation) {
+  auto buf = encode(ServeMsg{
+      NodeId{3}, Event{EventId{4, 7},
+                       std::make_shared<const std::vector<std::uint8_t>>(100, 1)}});
+  for (std::size_t cut : {1UL, 5UL, 13UL, 50UL}) {
+    std::vector<std::uint8_t> shorter(buf->begin(), buf->end() - static_cast<long>(cut));
+    EXPECT_FALSE(decode_serve(shorter).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Messages, PeekTagRejectsGarbage) {
+  std::vector<std::uint8_t> junk{0xee, 1, 2, 3};
+  EXPECT_FALSE(peek_tag(junk).has_value());
+  std::vector<std::uint8_t> empty;
+  EXPECT_FALSE(peek_tag(empty).has_value());
+}
+
+}  // namespace
+}  // namespace hg::gossip

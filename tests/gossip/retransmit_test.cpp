@@ -1,0 +1,99 @@
+#include "gossip/retransmit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg::gossip {
+namespace {
+
+struct Fired {
+  EventId id;
+  int retry;
+};
+
+TEST(Retransmit, FiresAfterPeriod) {
+  sim::Simulator s(1);
+  std::vector<Fired> fired;
+  RetransmitTracker t(s, sim::SimTime::ms(500), 3,
+                      [&](EventId id, int r) { fired.push_back({id, r}); });
+  t.arm(EventId{1, 0}, 0);
+  s.run_until(sim::SimTime::ms(499));
+  EXPECT_TRUE(fired.empty());
+  s.run_until(sim::SimTime::ms(501));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].id, (EventId{1, 0}));
+  EXPECT_EQ(fired[0].retry, 1);
+}
+
+TEST(Retransmit, CancelStopsTimer) {
+  sim::Simulator s(1);
+  int count = 0;
+  RetransmitTracker t(s, sim::SimTime::ms(500), 3, [&](EventId, int) { ++count; });
+  t.arm(EventId{1, 0}, 0);
+  t.cancel(EventId{1, 0});
+  s.run_until(sim::SimTime::sec(10));
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(t.stats().cancelled_by_serve, 1u);
+  EXPECT_FALSE(t.tracking(EventId{1, 0}));
+}
+
+TEST(Retransmit, ExponentialBackoff) {
+  sim::Simulator s(1);
+  std::vector<sim::SimTime> at;
+  RetransmitTracker t(s, sim::SimTime::ms(100), 10, [&](EventId id, int r) {
+    at.push_back(s.now());
+    t.arm(id, r);  // owner re-arms like ThreePhaseGossip does
+  });
+  t.arm(EventId{1, 0}, 0);
+  s.run_until(sim::SimTime::sec(5));
+  // Timeouts: 100, then 200, 400, 800, 800 (capped at x8), ...
+  ASSERT_GE(at.size(), 5u);
+  EXPECT_EQ(at[0], sim::SimTime::ms(100));
+  EXPECT_EQ(at[1], sim::SimTime::ms(300));
+  EXPECT_EQ(at[2], sim::SimTime::ms(700));
+  EXPECT_EQ(at[3], sim::SimTime::ms(1500));
+  EXPECT_EQ(at[4], sim::SimTime::ms(2300));  // capped: +800
+}
+
+TEST(Retransmit, GivesUpAfterMaxRetries) {
+  sim::Simulator s(1);
+  int fires = 0;
+  RetransmitTracker t(s, sim::SimTime::ms(10), 2, [&](EventId id, int r) {
+    ++fires;
+    t.arm(id, r);
+  });
+  t.arm(EventId{2, 0}, 0);
+  s.run_until(sim::SimTime::sec(10));
+  // retry 1, retry 2, then the retry-count check (>= 2) drops it.
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(t.stats().gave_up, 1u);
+  EXPECT_FALSE(t.tracking(EventId{2, 0}));
+}
+
+TEST(Retransmit, CancelWindowDropsAllEntries) {
+  sim::Simulator s(1);
+  int fires = 0;
+  RetransmitTracker t(s, sim::SimTime::ms(100), 5, [&](EventId, int) { ++fires; });
+  for (std::uint16_t i = 0; i < 10; ++i) t.arm(EventId{7, i}, 0);
+  t.arm(EventId{8, 0}, 0);
+  EXPECT_EQ(t.pending_count(), 11u);
+  t.cancel_window(7);
+  EXPECT_EQ(t.pending_count(), 1u);
+  s.run_until(sim::SimTime::sec(1));
+  EXPECT_EQ(fires, 1);  // only the window-8 timer fired
+}
+
+TEST(Retransmit, RearmResetsTimer) {
+  sim::Simulator s(1);
+  std::vector<sim::SimTime> at;
+  RetransmitTracker t(s, sim::SimTime::ms(100), 5,
+                      [&](EventId, int) { at.push_back(s.now()); });
+  t.arm(EventId{1, 1}, 0);
+  s.run_until(sim::SimTime::ms(50));
+  t.arm(EventId{1, 1}, 0);  // re-arm halfway: timer restarts
+  s.run_until(sim::SimTime::sec(1));
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], sim::SimTime::ms(150));
+}
+
+}  // namespace
+}  // namespace hg::gossip

@@ -1,0 +1,203 @@
+#include "gossip/three_phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gossip/fanout_policy.hpp"
+
+namespace hg::gossip {
+namespace {
+
+// A small swarm of raw dissemination engines over an ideal-ish network.
+struct Swarm {
+  sim::Simulator sim;
+  net::NetworkFabric fabric;
+  membership::Directory directory;
+  std::vector<std::unique_ptr<membership::LocalView>> views;
+  std::vector<std::unique_ptr<FixedFanout>> policies;
+  std::vector<std::unique_ptr<ThreePhaseGossip>> nodes;
+  std::vector<std::vector<Event>> delivered;
+
+  explicit Swarm(std::size_t n, GossipConfig cfg = {}, double fanout = 4.0,
+                 double loss = 0.0, std::uint64_t seed = 11)
+      : sim(seed),
+        fabric(sim, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(15)),
+               loss > 0 ? std::unique_ptr<net::LossModel>(std::make_unique<net::BernoulliLoss>(loss))
+                        : std::unique_ptr<net::LossModel>(std::make_unique<net::NoLoss>())),
+        directory(sim, membership::DetectionConfig{}) {
+    delivered.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) directory.add_node(NodeId{i});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId id{i};
+      views.push_back(directory.make_view(id));
+      policies.push_back(std::make_unique<FixedFanout>(fanout));
+      nodes.push_back(std::make_unique<ThreePhaseGossip>(sim, fabric, *views.back(), id, cfg,
+                                                         *policies.back()));
+      nodes.back()->set_deliver(
+          [this, i](const Event& e) { delivered[i].push_back(e); });
+      fabric.register_node(id, BitRate::unlimited(),
+                           [g = nodes.back().get()](const net::Datagram& d) {
+                             g->on_datagram(d);
+                           });
+    }
+    for (auto& g : nodes) g->start();
+  }
+
+  Event make_event(std::uint32_t w, std::uint16_t i, std::size_t bytes = 64) {
+    return Event{EventId{w, i},
+                 std::make_shared<const std::vector<std::uint8_t>>(bytes, 0x11)};
+  }
+};
+
+TEST(ThreePhase, SingleEventReachesEveryone) {
+  Swarm s(30);
+  s.nodes[0]->publish(s.make_event(0, 0));
+  s.sim.run_until(sim::SimTime::sec(10));
+  for (std::size_t i = 0; i < 30; ++i) {
+    ASSERT_EQ(s.delivered[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(s.delivered[i][0].id, (EventId{0, 0}));
+  }
+}
+
+TEST(ThreePhase, DeliversExactlyOncePerNode) {
+  // fanout 7 > ln(25)+c: the dissemination reaches everyone w.h.p.
+  Swarm s(25, GossipConfig{}, /*fanout=*/7.0);
+  for (std::uint16_t k = 0; k < 20; ++k) s.nodes[0]->publish(s.make_event(0, k));
+  s.sim.run_until(sim::SimTime::sec(15));
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(s.delivered[i].size(), 20u) << "node " << i;
+    // No duplicates: the three-phase exchange guarantees single delivery.
+    std::set<std::uint64_t> uniq;
+    for (const auto& e : s.delivered[i]) uniq.insert(e.id.raw());
+    EXPECT_EQ(uniq.size(), s.delivered[i].size());
+  }
+}
+
+TEST(ThreePhase, PayloadsSurviveDissemination) {
+  Swarm s(10);
+  auto payload = std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>{1, 2, 3, 4, 5});
+  s.nodes[0]->publish(Event{EventId{1, 1}, payload});
+  s.sim.run_until(sim::SimTime::sec(5));
+  for (std::size_t i = 1; i < 10; ++i) {
+    ASSERT_EQ(s.delivered[i].size(), 1u);
+    ASSERT_TRUE(s.delivered[i][0].payload);
+    EXPECT_EQ(*s.delivered[i][0].payload, *payload);
+  }
+}
+
+TEST(ThreePhase, InfectAndDieProposesEachIdOnce) {
+  Swarm s(20);
+  s.nodes[0]->publish(s.make_event(0, 0));
+  s.sim.run_until(sim::SimTime::sec(10));
+  // Each node proposed the id at most once per target, i.e. ids_proposed <=
+  // fanout per node. Total proposals across nodes ~= n * f.
+  std::uint64_t total_ids_proposed = 0;
+  for (const auto& g : s.nodes) total_ids_proposed += g->stats().ids_proposed;
+  EXPECT_LE(total_ids_proposed, 20u * 5u);  // fanout 4 (+rounding slack)
+  EXPECT_GE(total_ids_proposed, 20u * 3u - 8u);
+}
+
+TEST(ThreePhase, RecoversFromLossViaRetransmission) {
+  GossipConfig cfg;
+  cfg.retransmit_period = sim::SimTime::ms(300);
+  Swarm s(30, cfg, /*fanout=*/7.0, /*loss=*/0.10);
+  for (std::uint16_t k = 0; k < 10; ++k) s.nodes[0]->publish(s.make_event(0, k));
+  s.sim.run_until(sim::SimTime::sec(30));
+  std::size_t fully = 0;
+  for (std::size_t i = 0; i < 30; ++i) fully += (s.delivered[i].size() == 10);
+  // With 10% loss and no retransmission many nodes would miss packets;
+  // with it, (nearly) everyone converges.
+  EXPECT_GE(fully, 28u);
+}
+
+TEST(ThreePhase, NoRetransmissionLeavesGaps) {
+  GossipConfig cfg;
+  cfg.max_retransmits = 0;
+  Swarm s(30, cfg, /*fanout=*/4.0, /*loss=*/0.25, /*seed=*/13);
+  for (std::uint16_t k = 0; k < 10; ++k) s.nodes[0]->publish(s.make_event(0, k));
+  s.sim.run_until(sim::SimTime::sec(30));
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < 30; ++i) missing += (s.delivered[i].size() < 10);
+  EXPECT_GT(missing, 0u);  // heavy loss + no retries must lose something
+}
+
+TEST(ThreePhase, ShouldRequestVetoSuppressesDelivery) {
+  Swarm s(10);
+  // Node 5 refuses everything from window 0.
+  s.nodes[5]->set_should_request([](EventId id) { return id.window() != 0; });
+  s.nodes[0]->publish(s.make_event(0, 0));
+  s.nodes[0]->publish(s.make_event(1, 0));
+  s.sim.run_until(sim::SimTime::sec(10));
+  ASSERT_EQ(s.delivered[5].size(), 1u);
+  EXPECT_EQ(s.delivered[5][0].id.window(), 1u);
+  EXPECT_GT(s.nodes[5]->stats().declined_requests, 0u);
+}
+
+TEST(ThreePhase, CancelWindowStopsFutureRequests) {
+  Swarm s(10);
+  s.nodes[3]->cancel_window_requests(0);
+  s.nodes[0]->publish(s.make_event(0, 0));
+  s.sim.run_until(sim::SimTime::sec(10));
+  EXPECT_TRUE(s.delivered[3].empty());
+  for (std::size_t i = 1; i < 10; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(s.delivered[i].size(), 1u) << "node " << i;
+  }
+}
+
+TEST(ThreePhase, SourceImmediatePublishSkipsBatching) {
+  GossipConfig cfg;
+  cfg.immediate_publish = true;
+  Swarm s(10, cfg);
+  s.nodes[0]->publish(s.make_event(0, 0));
+  // Proposes must be out before the first periodic round (<= 200 ms).
+  s.sim.run_until(sim::SimTime::ms(1));
+  EXPECT_GT(s.nodes[0]->stats().proposes_sent, 0u);
+}
+
+TEST(ThreePhase, BatchedPublishWaitsForRound) {
+  GossipConfig cfg;
+  cfg.immediate_publish = false;
+  Swarm s(10, cfg);
+  s.nodes[0]->publish(s.make_event(0, 0));
+  s.sim.run_until(sim::SimTime::ms(1));
+  EXPECT_EQ(s.nodes[0]->stats().proposes_sent, 0u);
+  s.sim.run_until(sim::SimTime::ms(250));
+  EXPECT_GT(s.nodes[0]->stats().proposes_sent, 0u);
+}
+
+TEST(ThreePhase, GarbageCollectionBoundsState) {
+  GossipConfig cfg;
+  cfg.gc_window_horizon = 3;
+  Swarm s(5, cfg);
+  for (std::uint32_t w = 0; w < 10; ++w) {
+    s.nodes[0]->publish(s.make_event(w, 0));
+    s.sim.run_until(sim::SimTime::sec(1 + w));
+  }
+  s.sim.run_until(sim::SimTime::sec(30));
+  // Horizon 3 behind newest window 9: windows < 6 are collected.
+  EXPECT_FALSE(s.nodes[0]->has_delivered(EventId{0, 0}));
+  EXPECT_FALSE(s.nodes[0]->has_delivered(EventId{5, 0}));
+  EXPECT_TRUE(s.nodes[0]->has_delivered(EventId{6, 0}));
+  EXPECT_TRUE(s.nodes[0]->has_delivered(EventId{9, 0}));
+}
+
+TEST(ThreePhase, StatsAreConsistent) {
+  Swarm s(20, GossipConfig{}, /*fanout=*/7.0);
+  for (std::uint16_t k = 0; k < 5; ++k) s.nodes[0]->publish(s.make_event(0, k));
+  s.sim.run_until(sim::SimTime::sec(10));
+  std::uint64_t serves = 0, delivered_total = 0;
+  for (const auto& g : s.nodes) {
+    serves += g->stats().serves_sent;
+    delivered_total += g->stats().events_delivered;
+  }
+  // Every delivery except the publisher's own was served exactly once
+  // (lossless network, no duplicate deliveries possible).
+  EXPECT_EQ(delivered_total, 20u * 5u);
+  EXPECT_EQ(serves, 20u * 5u - 5u);
+}
+
+}  // namespace
+}  // namespace hg::gossip

@@ -1,0 +1,153 @@
+#include "membership/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.hpp"
+
+namespace hg::membership {
+namespace {
+
+TEST(Directory, SelectNodesExcludesSelf) {
+  sim::Simulator s(1);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 10; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{3});
+  Rng rng(1);
+  std::vector<NodeId> out;
+  for (int trial = 0; trial < 100; ++trial) {
+    view->select_nodes(5, out, rng);
+    EXPECT_EQ(out.size(), 5u);
+    for (NodeId id : out) EXPECT_NE(id, NodeId{3});
+  }
+}
+
+TEST(Directory, SelectNodesDistinct) {
+  sim::Simulator s(2);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 20; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+  Rng rng(2);
+  std::vector<NodeId> out;
+  view->select_nodes(19, out, rng);
+  std::set<NodeId> uniq(out.begin(), out.end());
+  EXPECT_EQ(uniq.size(), 19u);
+}
+
+TEST(Directory, SelectNodesCappedByPopulation) {
+  sim::Simulator s(3);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 4; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+  Rng rng(3);
+  std::vector<NodeId> out;
+  view->select_nodes(10, out, rng);
+  EXPECT_EQ(out.size(), 3u);  // only 3 peers exist
+}
+
+TEST(Directory, SelectionIsUniform) {
+  sim::Simulator s(4);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 11; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+  Rng rng(4);
+  std::vector<NodeId> out;
+  std::vector<int> counts(11, 0);
+  constexpr int kRounds = 20000;
+  for (int r = 0; r < kRounds; ++r) {
+    view->select_nodes(2, out, rng);
+    for (NodeId id : out) counts[id.value()]++;
+  }
+  // Each of the 10 peers expected kRounds*2/10 = 4000.
+  EXPECT_EQ(counts[0], 0);
+  for (std::uint32_t i = 1; i < 11; ++i) EXPECT_NEAR(counts[i], 4000, 400);
+}
+
+TEST(Directory, KillPropagatesAfterDetectionDelay) {
+  sim::Simulator s(5);
+  DetectionConfig det;
+  det.mean = sim::SimTime::sec(10);
+  det.spread = 0.0;  // deterministic delay for the test
+  Directory dir(s, det);
+  for (std::uint32_t i = 0; i < 5; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+
+  s.run_until(sim::SimTime::sec(1));
+  dir.kill(NodeId{2});
+  EXPECT_FALSE(dir.alive(NodeId{2}));
+  EXPECT_EQ(dir.alive_count(), 4u);
+
+  // Before detection: still believed alive.
+  s.run_until(sim::SimTime::sec(10));
+  EXPECT_EQ(view->believed_peers(), 4u);
+  // After detection: removed.
+  s.run_until(sim::SimTime::sec(12));
+  EXPECT_EQ(view->believed_peers(), 3u);
+
+  Rng rng(5);
+  std::vector<NodeId> out;
+  for (int t = 0; t < 50; ++t) {
+    view->select_nodes(3, out, rng);
+    for (NodeId id : out) EXPECT_NE(id, NodeId{2});
+  }
+}
+
+TEST(Directory, DetectionDelayIsSpread) {
+  sim::Simulator s(6);
+  DetectionConfig det;
+  det.mean = sim::SimTime::sec(10);
+  det.spread = 0.5;
+  Directory dir(s, det);
+  for (std::uint32_t i = 0; i < 100; ++i) dir.add_node(NodeId{i});
+  std::vector<std::unique_ptr<LocalView>> views;
+  for (std::uint32_t i = 0; i < 100; ++i) views.push_back(dir.make_view(NodeId{i}));
+
+  dir.kill(NodeId{7});
+  // At t=5s (min possible delay) nobody has detected yet.
+  s.run_until(sim::SimTime::sec(4.9));
+  int detected = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (i != 7 && views[i]->believed_peers() == 98) ++detected;
+  }
+  EXPECT_EQ(detected, 0);
+  // Half-way (t=10s): roughly half have detected.
+  s.run_until(sim::SimTime::sec(10));
+  detected = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (i != 7 && views[i]->believed_peers() == 98) ++detected;
+  }
+  EXPECT_GT(detected, 25);
+  EXPECT_LT(detected, 75);
+  // By t=15s everyone has.
+  s.run_until(sim::SimTime::sec(15.1));
+  detected = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (i != 7 && views[i]->believed_peers() == 98) ++detected;
+  }
+  EXPECT_EQ(detected, 99);
+}
+
+TEST(Directory, DoubleKillIsIdempotent) {
+  sim::Simulator s(7);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 3; ++i) dir.add_node(NodeId{i});
+  dir.kill(NodeId{1});
+  dir.kill(NodeId{1});
+  EXPECT_EQ(dir.alive_count(), 2u);
+}
+
+TEST(Directory, ViewOfKilledOwnerUnaffected) {
+  // A dead node's own view is not updated (it is dead), but destroying the
+  // view must not crash pending detection events.
+  sim::Simulator s(8);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 3; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{1});
+  dir.kill(NodeId{0});
+  view.reset();  // destroyed before detection event fires
+  s.run_until(sim::SimTime::sec(30));
+}
+
+}  // namespace
+}  // namespace hg::membership

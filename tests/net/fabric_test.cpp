@@ -1,0 +1,123 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace hg::net {
+namespace {
+
+std::shared_ptr<const std::vector<std::uint8_t>> make_bytes(std::size_t n) {
+  return std::make_shared<const std::vector<std::uint8_t>>(n, 0x55);
+}
+
+struct Harness {
+  sim::Simulator sim{42};
+  NetworkFabric fabric;
+  std::vector<std::vector<Datagram>> received;
+
+  explicit Harness(std::size_t nodes, double loss = 0.0,
+                   sim::SimTime latency = sim::SimTime::ms(10))
+      : fabric(sim, std::make_unique<ConstantLatency>(latency),
+               loss > 0 ? std::unique_ptr<LossModel>(std::make_unique<BernoulliLoss>(loss))
+                        : std::unique_ptr<LossModel>(std::make_unique<NoLoss>())) {
+    received.resize(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      fabric.register_node(id, BitRate::unlimited(),
+                           [this, i](const Datagram& d) { received[i].push_back(d); });
+    }
+  }
+};
+
+TEST(Fabric, DeliversWithLatency) {
+  Harness h(2);
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kPropose, make_bytes(100));
+  h.sim.run_until(sim::SimTime::ms(9));
+  EXPECT_TRUE(h.received[1].empty());
+  h.sim.run_until(sim::SimTime::ms(11));
+  ASSERT_EQ(h.received[1].size(), 1u);
+  EXPECT_EQ(h.received[1][0].src, NodeId{0});
+  EXPECT_EQ(h.received[1][0].cls, MsgClass::kPropose);
+}
+
+TEST(Fabric, MetersSentAndReceived) {
+  Harness h(2);
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe, make_bytes(1316));
+  h.sim.run_until(sim::SimTime::sec(1));
+  EXPECT_EQ(h.fabric.meter(NodeId{0}).sent(MsgClass::kServe).bytes,
+            1316 + kUdpIpOverheadBytes);
+  EXPECT_EQ(h.fabric.meter(NodeId{0}).sent(MsgClass::kServe).msgs, 1u);
+  EXPECT_EQ(h.fabric.meter(NodeId{1}).received(MsgClass::kServe).bytes,
+            1316 + kUdpIpOverheadBytes);
+}
+
+TEST(Fabric, LossDropsDatagrams) {
+  Harness h(2, /*loss=*/1.0);
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kPropose, make_bytes(100));
+  h.sim.run_until(sim::SimTime::sec(1));
+  EXPECT_TRUE(h.received[1].empty());
+  EXPECT_EQ(h.fabric.datagrams_lost(), 1u);
+}
+
+TEST(Fabric, PartialLossRate) {
+  Harness h(2, /*loss=*/0.2);
+  for (int i = 0; i < 5000; ++i) {
+    h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kPropose, make_bytes(10));
+  }
+  h.sim.run_until(sim::SimTime::sec(10));
+  const double delivered = static_cast<double>(h.received[1].size());
+  EXPECT_NEAR(delivered / 5000.0, 0.8, 0.03);
+}
+
+TEST(Fabric, DeadSenderSendsNothing) {
+  Harness h(2);
+  h.fabric.kill(NodeId{0});
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kPropose, make_bytes(10));
+  h.sim.run_until(sim::SimTime::sec(1));
+  EXPECT_TRUE(h.received[1].empty());
+}
+
+TEST(Fabric, DeadReceiverDropsInFlight) {
+  Harness h(2);
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kPropose, make_bytes(10));
+  // Kill node 1 while the datagram is still in flight (latency 10 ms).
+  h.sim.run_until(sim::SimTime::ms(5));
+  h.fabric.kill(NodeId{1});
+  h.sim.run_until(sim::SimTime::sec(1));
+  EXPECT_TRUE(h.received[1].empty());
+}
+
+TEST(Fabric, UploadCapacitySerializesTraffic) {
+  sim::Simulator s(7);
+  NetworkFabric fabric(s, std::make_unique<ConstantLatency>(sim::SimTime::zero()),
+                       std::make_unique<NoLoss>());
+  std::vector<sim::SimTime> arrival;
+  // 1000 bps sender: each 125-byte wire datagram takes 1 s to push out.
+  fabric.register_node(NodeId{0}, BitRate::bps(1000), nullptr);
+  fabric.register_node(NodeId{1}, BitRate::unlimited(),
+                       [&](const Datagram&) { arrival.push_back(s.now()); });
+  fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe, make_bytes(97));
+  fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe, make_bytes(97));
+  s.run_until(sim::SimTime::sec(10));
+  ASSERT_EQ(arrival.size(), 2u);
+  EXPECT_EQ(arrival[0], sim::SimTime::sec(1));
+  EXPECT_EQ(arrival[1], sim::SimTime::sec(2));
+}
+
+TEST(Fabric, PlanetLabLatencyIsStablePerPair) {
+  sim::Simulator s(3);
+  auto rng = s.make_rng(1);
+  PlanetLabLatency lat({}, s.make_rng(2));
+  Rng packet_rng = s.make_rng(9);
+  const auto a1 = lat.sample(NodeId{1}, NodeId{2}, packet_rng);
+  const auto a2 = lat.sample(NodeId{1}, NodeId{2}, packet_rng);
+  const auto b = lat.sample(NodeId{2}, NodeId{1}, packet_rng);
+  (void)rng;
+  // Same pair: within jitter (5 ms) of each other; symmetric base.
+  EXPECT_LT((a1 - a2).as_us() < 0 ? (a2 - a1).as_us() : (a1 - a2).as_us(), 5000);
+  EXPECT_LT((a1 - b).as_us() < 0 ? (b - a1).as_us() : (a1 - b).as_us(), 5000);
+}
+
+}  // namespace
+}  // namespace hg::net

@@ -1,0 +1,102 @@
+#include "net/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg::net {
+namespace {
+
+TEST(Serde, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, VarintBoundaries) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                          0xffffffffULL, ~0ULL}) {
+    ByteWriter w;
+    w.varint(v);
+    auto buf = w.take();
+    ByteReader r(buf);
+    EXPECT_EQ(r.varint(), v) << v;
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Serde, VarintCompactness) {
+  ByteWriter w;
+  w.varint(100);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Serde, BytesRoundTrip) {
+  std::vector<std::uint8_t> payload(1316);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i);
+  ByteWriter w;
+  w.bytes(payload);
+  auto buf = w.take();
+  ByteReader r(buf);
+  auto out = r.bytes();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(std::equal(out->begin(), out->end(), payload.begin(), payload.end()));
+}
+
+TEST(Serde, StringRoundTrip) {
+  ByteWriter w;
+  w.str("heterogeneous gossip");
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), "heterogeneous gossip");
+}
+
+TEST(Serde, TruncatedReadsReturnNullopt) {
+  ByteWriter w;
+  w.u32(7);
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_TRUE(r.u32().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(Serde, TruncatedBytesReturnNullopt) {
+  ByteWriter w;
+  w.varint(100);  // claims 100 bytes follow but none do
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(Serde, MalformedVarintReturnsNullopt) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates
+  ByteReader r(bad);
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+TEST(Serde, EmptyBuffer) {
+  std::vector<std::uint8_t> empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(r.u8().has_value());
+  EXPECT_FALSE(r.varint().has_value());
+}
+
+}  // namespace
+}  // namespace hg::net

@@ -1,0 +1,110 @@
+#include "scenario/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg::scenario {
+namespace {
+
+TEST(Distribution, Table1Averages) {
+  // Table 1: averages 691 / 724 / 691 kbps; CSR 1.15 / 1.20 / 1.15 at 600 kbps.
+  EXPECT_NEAR(BandwidthDistribution::ref691().average_kbps(), 691.0, 1.0);
+  EXPECT_NEAR(BandwidthDistribution::ref724().average_kbps(), 724.0, 1.0);
+  EXPECT_NEAR(BandwidthDistribution::ms691().average_kbps(), 691.0, 1.0);
+  EXPECT_NEAR(BandwidthDistribution::ref691().csr(600.0), 1.15, 0.01);
+  EXPECT_NEAR(BandwidthDistribution::ref724().csr(600.0), 1.20, 0.01);
+}
+
+TEST(Distribution, Ms691Skewness) {
+  const auto d = BandwidthDistribution::ms691();
+  // "only 15% of nodes have an upload capability higher than the stream rate"
+  double above = 0;
+  for (const auto& c : d.classes()) {
+    if (c.capability.kbits_per_sec() > 600.0) above += c.fraction;
+  }
+  EXPECT_NEAR(above, 0.15, 1e-9);
+}
+
+TEST(Distribution, AssignMatchesFractions) {
+  Rng rng(1);
+  const auto d = BandwidthDistribution::ref691();
+  const auto a = d.assign(270, rng);
+  ASSERT_EQ(a.size(), 270u);
+  std::vector<int> counts(3, 0);
+  for (const auto& n : a) counts[n.class_index]++;
+  EXPECT_EQ(counts[0], 27);   // 10% of 270
+  EXPECT_EQ(counts[1], 135);  // 50%
+  EXPECT_EQ(counts[2], 108);  // 40%
+}
+
+TEST(Distribution, AssignHandlesRoundingRemainder) {
+  Rng rng(2);
+  const auto a = BandwidthDistribution::ms691().assign(271, rng);
+  ASSERT_EQ(a.size(), 271u);
+  std::vector<int> counts(3, 0);
+  for (const auto& n : a) counts[n.class_index]++;
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 271);
+  // Largest remainder keeps each class within 1 of the exact share.
+  EXPECT_NEAR(counts[0], 271 * 0.05, 1.0);
+  EXPECT_NEAR(counts[1], 271 * 0.10, 1.0);
+  EXPECT_NEAR(counts[2], 271 * 0.85, 1.0);
+}
+
+TEST(Distribution, AssignIsShuffled) {
+  Rng rng(3);
+  const auto a = BandwidthDistribution::ref691().assign(270, rng);
+  // The first 27 nodes must not all be the first class.
+  int first_class = 0;
+  for (int i = 0; i < 27; ++i) first_class += (a[i].class_index == 0);
+  EXPECT_LT(first_class, 15);
+}
+
+TEST(Distribution, AssignRealizedAverageTracksTable) {
+  Rng rng(4);
+  const auto a = BandwidthDistribution::ms691().assign(270, rng);
+  double avg = 0;
+  for (const auto& n : a) avg += n.capability.kbits_per_sec();
+  avg /= 270.0;
+  EXPECT_NEAR(avg, 691.0, 5.0);
+}
+
+TEST(Distribution, Dist2UniformRange) {
+  Rng rng(5);
+  const auto d = BandwidthDistribution::dist2_uniform(0.5);
+  EXPECT_NEAR(d.average_kbps(), 691.0, 1e-9);
+  const auto a = d.assign(1000, rng);
+  double avg = 0, lo = 1e9, hi = 0;
+  for (const auto& n : a) {
+    const double k = n.capability.kbits_per_sec();
+    avg += k;
+    lo = std::min(lo, k);
+    hi = std::max(hi, k);
+  }
+  avg /= 1000.0;
+  EXPECT_NEAR(avg, 691.0, 10.0);
+  EXPECT_GE(lo, 691.0 * 0.5 - 1e-6);
+  EXPECT_LE(hi, 691.0 * 1.5 + 1e-6);
+}
+
+TEST(Distribution, UnconstrainedIsUnlimited) {
+  Rng rng(6);
+  const auto a = BandwidthDistribution::unconstrained().assign(10, rng);
+  for (const auto& n : a) EXPECT_TRUE(n.capability.is_unlimited());
+}
+
+TEST(Distribution, AssignIsDeterministicPerSeed) {
+  Rng r1(7), r2(7), r3(8);
+  const auto d = BandwidthDistribution::ref724();
+  const auto a = d.assign(100, r1);
+  const auto b = d.assign(100, r2);
+  const auto c = d.assign(100, r3);
+  bool same_ab = true, same_ac = true;
+  for (std::size_t i = 0; i < 100; ++i) {
+    same_ab &= (a[i].class_index == b[i].class_index);
+    same_ac &= (a[i].class_index == c[i].class_index);
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+}  // namespace
+}  // namespace hg::scenario

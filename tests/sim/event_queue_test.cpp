@@ -1,0 +1,111 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hg::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  SimTime now = SimTime::zero();
+  q.schedule_fire_and_forget(SimTime::ms(30), [&] { order.push_back(3); });
+  q.schedule_fire_and_forget(SimTime::ms(10), [&] { order.push_back(1); });
+  q.schedule_fire_and_forget(SimTime::ms(20), [&] { order.push_back(2); });
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(now, SimTime::ms(30));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  SimTime now = SimTime::zero();
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_fire_and_forget(SimTime::ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next(now)) {
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  SimTime now = SimTime::zero();
+  EventHandle h = q.schedule(SimTime::ms(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  while (q.run_next(now)) {
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  SimTime now = SimTime::zero();
+  EventHandle h = q.schedule(SimTime::ms(1), [] {});
+  while (q.run_next(now)) {
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or corrupt
+}
+
+TEST(EventQueue, EventsScheduledDuringExecutionRun) {
+  EventQueue q;
+  SimTime now = SimTime::zero();
+  int count = 0;
+  q.schedule_fire_and_forget(SimTime::ms(1), [&] {
+    ++count;
+    q.schedule_fire_and_forget(SimTime::ms(2), [&] { ++count; });
+  });
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(now, SimTime::ms(2));
+}
+
+TEST(EventQueue, PruneAndEmptySkipsTombstones) {
+  EventQueue q;
+  EventHandle h1 = q.schedule(SimTime::ms(1), [] {});
+  EventHandle h2 = q.schedule(SimTime::ms(2), [] {});
+  h1.cancel();
+  h2.cancel();
+  EXPECT_TRUE(q.prune_and_empty());
+}
+
+TEST(EventQueue, NextTimeReflectsLiveHead) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime::ms(1), [] {});
+  q.schedule_fire_and_forget(SimTime::ms(5), [] {});
+  h.cancel();
+  ASSERT_FALSE(q.prune_and_empty());
+  EXPECT_EQ(q.next_time(), SimTime::ms(5));
+}
+
+TEST(EventQueue, ExecutedCountsOnlyRunEvents) {
+  EventQueue q;
+  SimTime now = SimTime::zero();
+  EventHandle h = q.schedule(SimTime::ms(1), [] {});
+  q.schedule_fire_and_forget(SimTime::ms(2), [] {});
+  h.cancel();
+  while (q.run_next(now)) {
+  }
+  EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  EXPECT_EQ(SimTime::ms(1), SimTime::us(1000));
+  EXPECT_EQ(SimTime::sec(1.5), SimTime::ms(1500));
+  EXPECT_EQ(SimTime::ms(3) + SimTime::ms(4), SimTime::ms(7));
+  EXPECT_EQ(SimTime::ms(10) - SimTime::ms(4), SimTime::ms(6));
+  EXPECT_DOUBLE_EQ(SimTime::ms(1500).as_sec(), 1.5);
+  EXPECT_LT(SimTime::zero(), SimTime::us(1));
+}
+
+}  // namespace
+}  // namespace hg::sim

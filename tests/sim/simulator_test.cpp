@@ -1,0 +1,101 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hg::sim {
+namespace {
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator s(1);
+  std::vector<int> fired;
+  s.after(SimTime::ms(10), [&] { fired.push_back(1); });
+  s.after(SimTime::ms(20), [&] { fired.push_back(2); });
+  s.after(SimTime::ms(30), [&] { fired.push_back(3); });
+
+  s.run_until(SimTime::ms(20));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), SimTime::ms(20));
+
+  s.run_until(SimTime::ms(100));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s(1);
+  s.run_until(SimTime::sec(5));
+  EXPECT_EQ(s.now(), SimTime::sec(5));
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator s(1);
+  SimTime observed = SimTime::zero();
+  s.after(SimTime::ms(10), [&] {
+    s.after(SimTime::ms(5), [&] { observed = s.now(); });
+  });
+  s.run_until(SimTime::sec(1));
+  EXPECT_EQ(observed, SimTime::ms(15));
+}
+
+TEST(Simulator, PeriodicTimerFiresRepeatedly) {
+  Simulator s(1);
+  int count = 0;
+  s.every(SimTime::ms(100), SimTime::ms(100), [&] { ++count; });
+  s.run_until(SimTime::sec(1));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, PeriodicTimerInitialDelayIndependent) {
+  Simulator s(1);
+  std::vector<SimTime> times;
+  s.every(SimTime::ms(50), SimTime::ms(200), [&] { times.push_back(s.now()); });
+  s.run_until(SimTime::ms(650));
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], SimTime::ms(50));
+  EXPECT_EQ(times[1], SimTime::ms(250));
+  EXPECT_EQ(times[2], SimTime::ms(450));
+  EXPECT_EQ(times[3], SimTime::ms(650));
+}
+
+TEST(Simulator, PeriodicTimerCancel) {
+  Simulator s(1);
+  int count = 0;
+  auto h = s.every(SimTime::ms(100), SimTime::ms(100), [&] { ++count; });
+  s.run_until(SimTime::ms(350));
+  EXPECT_EQ(count, 3);
+  h.cancel();
+  s.run_until(SimTime::sec(2));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicTimerSelfCancelFromCallback) {
+  Simulator s(1);
+  int count = 0;
+  Simulator::PeriodicHandle h;
+  h = s.every(SimTime::ms(10), SimTime::ms(10), [&] {
+    if (++count == 5) h.cancel();
+  });
+  s.run_until(SimTime::sec(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, MakeRngDeterministicByTag) {
+  Simulator a(77), b(77);
+  Rng ra = a.make_rng(5), rb = b.make_rng(5);
+  EXPECT_EQ(ra.next(), rb.next());
+  Rng rc = a.make_rng(6);
+  Rng rd = a.make_rng(5);
+  (void)rc;
+  EXPECT_EQ(rd.next(), b.make_rng(5).next());
+}
+
+TEST(Simulator, EventCountReflectsExecution) {
+  Simulator s(1);
+  for (int i = 0; i < 42; ++i) s.after(SimTime::ms(i), [] {});
+  s.run_until(SimTime::sec(1));
+  EXPECT_EQ(s.events_executed(), 42u);
+}
+
+}  // namespace
+}  // namespace hg::sim
