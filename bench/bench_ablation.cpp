@@ -25,15 +25,15 @@ Row measure(const std::string& name, scenario::ExperimentConfig cfg) {
   auto exp = run(std::move(cfg), name.c_str());
   Row r;
   r.name = name;
-  r.jitter10_pct = scenario::jitter_percent_at_lag(*exp, 10.0).mean();
-  const auto lags = scenario::jitter_free_lags(*exp, 0.0);
-  r.median_lag = (lags.count() * 2 >= exp->receivers()) ? lags.percentile(50)
-                                                        : std::nan("");
+  r.jitter10_pct = jitter_percent_at_lag(exp, 10.0).mean();
+  const auto lags = jitter_free_lags(exp, 0.0);
+  r.median_lag = (lags.count() * 2 >= exp.receivers()) ? lags.percentile(50)
+                                                       : std::nan("");
   double usage = 0;
   std::size_t n = 0;
-  for (std::size_t i = 0; i < exp->receivers(); ++i) {
-    if (exp->info(i).actual_capacity.is_unlimited() || exp->info(i).crashed) continue;
-    usage += exp->upload_usage(i);
+  for (std::size_t i = 0; i < exp.receivers(); ++i) {
+    if (exp.info(i).actual_capacity.is_unlimited() || exp.info(i).crashed) continue;
+    usage += exp.upload_usage(i);
     ++n;
   }
   r.mean_usage_pct = 100.0 * usage / static_cast<double>(n);
@@ -74,7 +74,7 @@ int main() {
   }
   {
     auto cfg = base_config(s, core::Mode::kHeap, dist);
-    cfg.rounding = core::FanoutRounding::kFloor;
+    cfg.rounding = gossip::FanoutRounding::kFloor;
     rows.push_back(measure("(e) floor fanout rounding", std::move(cfg)));
   }
   {

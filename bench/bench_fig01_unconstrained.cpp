@@ -15,13 +15,13 @@ int main() {
                              scenario::BandwidthDistribution::unconstrained()),
                  "fig1-unconstrained");
 
-  const auto lags = scenario::stream_fraction_lags(*exp, 0.99);
-  const auto cdf = scenario::cdf_over_grid(lags, lag_grid(s), exp->receivers());
+  const auto lags = stream_fraction_lags(exp, 0.99);
+  const auto cdf = scenario::cdf_over_grid(lags, lag_grid(s), exp.receivers());
   std::printf("%s\n",
               metrics::render_cdf_table("lag (s)", {"99% delivery"}, {cdf}).c_str());
 
   std::printf("percentiles of lag to 99%% delivery (%zu/%zu nodes reached it):\n",
-              lags.count(), exp->receivers());
+              lags.count(), exp.receivers());
   if (!lags.empty()) {
     std::printf("  p50 = %.2f s   p75 = %.2f s   p90 = %.2f s\n", lags.percentile(50),
                 lags.percentile(75), lags.percentile(90));

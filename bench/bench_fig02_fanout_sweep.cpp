@@ -27,16 +27,16 @@ int main() {
                            scenario::BandwidthDistribution::ms691(), fanout);
     auto exp = run(std::move(cfg), ("dist1 f=" + std::to_string(static_cast<int>(fanout))).c_str());
     names.push_back("f=" + std::to_string(static_cast<int>(fanout)) + " dist1");
-    series.push_back(scenario::cdf_over_grid(scenario::stream_fraction_lags(*exp, 0.99),
-                                             grid, exp->receivers()));
+    series.push_back(scenario::cdf_over_grid(stream_fraction_lags(exp, 0.99),
+                                             grid, exp.receivers()));
   }
   for (double fanout : {7.0, 15.0, 20.0}) {
     auto cfg = base_config(s, core::Mode::kStandard,
                            scenario::BandwidthDistribution::dist2_uniform(), fanout);
     auto exp = run(std::move(cfg), ("dist2 f=" + std::to_string(static_cast<int>(fanout))).c_str());
     names.push_back("f=" + std::to_string(static_cast<int>(fanout)) + " dist2");
-    series.push_back(scenario::cdf_over_grid(scenario::stream_fraction_lags(*exp, 0.99),
-                                             grid, exp->receivers()));
+    series.push_back(scenario::cdf_over_grid(stream_fraction_lags(exp, 0.99),
+                                             grid, exp.receivers()));
   }
 
   std::printf("%s\n", metrics::render_cdf_table("lag (s)", names, series).c_str());

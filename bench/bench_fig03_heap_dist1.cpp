@@ -21,12 +21,12 @@ int main() {
       "fig3-std-dist1");
 
   const auto grid = lag_grid(s);
-  const auto heap_lags = scenario::stream_fraction_lags(*heap, 0.99);
-  const auto std_lags = scenario::stream_fraction_lags(*std_exp, 0.99);
+  const auto heap_lags = stream_fraction_lags(heap, 0.99);
+  const auto std_lags = stream_fraction_lags(std_exp, 0.99);
   std::printf("%s\n", metrics::render_cdf_table(
                           "lag (s)", {"HEAP f̄=7", "std f=7"},
-                          {scenario::cdf_over_grid(heap_lags, grid, heap->receivers()),
-                           scenario::cdf_over_grid(std_lags, grid, std_exp->receivers())})
+                          {scenario::cdf_over_grid(heap_lags, grid, heap.receivers()),
+                           scenario::cdf_over_grid(std_lags, grid, std_exp.receivers())})
                           .c_str());
 
   if (!heap_lags.empty()) {

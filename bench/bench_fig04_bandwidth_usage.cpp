@@ -14,7 +14,7 @@ void one_distribution(const hg::bench::Scale& s, hg::scenario::BandwidthDistribu
   std::printf("Fig. %s (%s): mean upload usage (incl. protocol overhead)\n", fig,
               dist.name().c_str());
   print_class_table("", {"standard gossip", "HEAP"},
-                    {scenario::usage_by_class(*std_exp), scenario::usage_by_class(*heap_exp)});
+                    {usage_by_class(std_exp), usage_by_class(heap_exp)});
 }
 
 }  // namespace

@@ -17,7 +17,7 @@ int main() {
 
   print_class_table("jitter-free share of windows at 10 s lag:",
                     {"standard gossip", "HEAP"},
-                    {scenario::jitter_free_pct_by_class(*std_exp, 10.0),
-                     scenario::jitter_free_pct_by_class(*heap_exp, 10.0)});
+                    {jitter_free_pct_by_class(std_exp, 10.0),
+                     jitter_free_pct_by_class(heap_exp, 10.0)});
   return 0;
 }

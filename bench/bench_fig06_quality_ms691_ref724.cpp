@@ -13,8 +13,8 @@ void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
   std::printf("Fig. %s (%s): jitter-free share of windows at 10 s lag\n", fig,
               dist.name().c_str());
   print_class_table("", {"standard gossip", "HEAP"},
-                    {scenario::jitter_free_pct_by_class(*std_exp, 10.0),
-                     scenario::jitter_free_pct_by_class(*heap_exp, 10.0)});
+                    {jitter_free_pct_by_class(std_exp, 10.0),
+                     jitter_free_pct_by_class(heap_exp, 10.0)});
 }
 
 }  // namespace

@@ -19,14 +19,14 @@ int main() {
 
   const auto grid = metrics::Cdf::uniform_grid(100.0, 21);  // jitter % axis
   const auto series = std::vector<std::vector<metrics::CdfPoint>>{
-      scenario::cdf_over_grid(scenario::jitter_percent_at_lag(*std_exp, 10.0), grid,
-                              std_exp->receivers()),
-      scenario::cdf_over_grid(scenario::jitter_percent_offline(*std_exp), grid,
-                              std_exp->receivers()),
-      scenario::cdf_over_grid(scenario::jitter_percent_at_lag(*heap_exp, 10.0), grid,
-                              heap_exp->receivers()),
-      scenario::cdf_over_grid(scenario::jitter_percent_offline(*heap_exp), grid,
-                              heap_exp->receivers()),
+      scenario::cdf_over_grid(jitter_percent_at_lag(std_exp, 10.0), grid,
+                              std_exp.receivers()),
+      scenario::cdf_over_grid(jitter_percent_offline(std_exp), grid,
+                              std_exp.receivers()),
+      scenario::cdf_over_grid(jitter_percent_at_lag(heap_exp, 10.0), grid,
+                              heap_exp.receivers()),
+      scenario::cdf_over_grid(jitter_percent_offline(heap_exp), grid,
+                              heap_exp.receivers()),
   };
   std::printf("%s\n", metrics::render_cdf_table("jitter (%)",
                                                 {"std 10s lag", "std offline",
@@ -34,7 +34,7 @@ int main() {
                                                 series)
                           .c_str());
 
-  const auto heap10 = scenario::jitter_percent_at_lag(*heap_exp, 10.0);
+  const auto heap10 = jitter_percent_at_lag(heap_exp, 10.0);
   std::printf("HEAP @10 s: %.0f%% of nodes experience <= 10%% jitter\n",
               heap10.fraction_at_most(10.0) * 100.0);
   return 0;

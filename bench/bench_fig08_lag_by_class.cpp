@@ -11,8 +11,8 @@ void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
   auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "fig8-standard");
   auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "fig8-heap");
 
-  const auto std_lag = scenario::mean_lag_to_jitter_free_by_class(*std_exp, cap_sec);
-  const auto heap_lag = scenario::mean_lag_to_jitter_free_by_class(*heap_exp, cap_sec);
+  const auto std_lag = mean_lag_to_jitter_free_by_class(std_exp, cap_sec);
+  const auto heap_lag = mean_lag_to_jitter_free_by_class(heap_exp, cap_sec);
 
   std::printf("Fig. %s (%s): mean lag to a jitter-free stream (capped at %.0f s)\n", fig,
               dist.name().c_str(), cap_sec);

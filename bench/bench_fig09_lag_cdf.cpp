@@ -14,14 +14,14 @@ void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
 
   const auto grid = lag_grid(s);
   const std::vector<std::vector<metrics::CdfPoint>> series{
-      scenario::cdf_over_grid(scenario::jitter_free_lags(*std_exp, 0.0), grid,
-                              std_exp->receivers()),
-      scenario::cdf_over_grid(scenario::jitter_free_lags(*std_exp, 0.01), grid,
-                              std_exp->receivers()),
-      scenario::cdf_over_grid(scenario::jitter_free_lags(*heap_exp, 0.0), grid,
-                              heap_exp->receivers()),
-      scenario::cdf_over_grid(scenario::jitter_free_lags(*heap_exp, 0.01), grid,
-                              heap_exp->receivers()),
+      scenario::cdf_over_grid(jitter_free_lags(std_exp, 0.0), grid,
+                              std_exp.receivers()),
+      scenario::cdf_over_grid(jitter_free_lags(std_exp, 0.01), grid,
+                              std_exp.receivers()),
+      scenario::cdf_over_grid(jitter_free_lags(heap_exp, 0.0), grid,
+                              heap_exp.receivers()),
+      scenario::cdf_over_grid(jitter_free_lags(heap_exp, 0.01), grid,
+                              heap_exp.receivers()),
   };
   std::printf("Fig. %s (%s): CDF of lag needed per jitter budget\n", fig,
               dist.name().c_str());

@@ -28,9 +28,9 @@ void one(const hg::bench::Scale& s, double kill_fraction, const char* fig) {
   auto heap_exp = run(make(core::Mode::kHeap), "fig10-heap");
   auto std_exp = run(make(core::Mode::kStandard), "fig10-standard");
 
-  const auto heap12 = scenario::per_window_decode_percent(*heap_exp, 12.0);
-  const auto std20 = scenario::per_window_decode_percent(*std_exp, 20.0);
-  const auto std30 = scenario::per_window_decode_percent(*std_exp, 30.0);
+  const auto heap12 = per_window_decode_percent(heap_exp, 12.0);
+  const auto std20 = per_window_decode_percent(std_exp, 20.0);
+  const auto std30 = per_window_decode_percent(std_exp, 30.0);
 
   std::printf("Fig. %s: %.0f%% of nodes crash at t=%.1f s (stream starts at 2.0 s)\n",
               fig, kill_fraction * 100.0, crash_at.as_sec());
@@ -39,7 +39,7 @@ void one(const hg::bench::Scale& s, double kill_fraction, const char* fig) {
   for (std::size_t w = 0; w < heap12.size(); ++w) {
     t.add_row({std::to_string(w),
                metrics::Table::num(
-                   heap_exp->analyzer().window_complete_time(static_cast<std::uint32_t>(w))
+                   heap_exp.analyzer().window_complete_time(static_cast<std::uint32_t>(w))
                        .as_sec(), 1),
                metrics::Table::num(heap12[w], 1) + "%",
                metrics::Table::num(std20[w], 1) + "%",

@@ -22,10 +22,10 @@ int main() {
     auto std_exp = run(base_config(s, core::Mode::kStandard, dist), "table2-standard");
     auto heap_exp = run(base_config(s, core::Mode::kHeap, dist), "table2-heap");
 
-    const auto std_ratio = scenario::delivery_in_jittered_by_class(*std_exp, 10.0);
-    const auto heap_ratio = scenario::delivery_in_jittered_by_class(*heap_exp, 10.0);
-    const auto std_jit = scenario::jitter_free_pct_by_class(*std_exp, 10.0);
-    const auto heap_jit = scenario::jitter_free_pct_by_class(*heap_exp, 10.0);
+    const auto std_ratio = delivery_in_jittered_by_class(std_exp, 10.0);
+    const auto heap_ratio = delivery_in_jittered_by_class(heap_exp, 10.0);
+    const auto std_jit = jitter_free_pct_by_class(std_exp, 10.0);
+    const auto heap_jit = jitter_free_pct_by_class(heap_exp, 10.0);
 
     std::printf("%s:\n", dist.name().c_str());
     metrics::Table t({"class", "std delivery", "HEAP delivery", "std jittered",

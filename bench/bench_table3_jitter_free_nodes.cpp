@@ -13,8 +13,8 @@ void one(const hg::bench::Scale& s, hg::scenario::BandwidthDistribution dist,
   std::printf("%s (%.0f s lag): %% of nodes with a fully jitter-free stream\n",
               dist.name().c_str(), lag_sec);
   print_class_table("", {"standard gossip", "HEAP"},
-                    {scenario::jitter_free_nodes_pct_by_class(*std_exp, lag_sec),
-                     scenario::jitter_free_nodes_pct_by_class(*heap_exp, lag_sec)});
+                    {jitter_free_nodes_pct_by_class(std_exp, lag_sec),
+                     jitter_free_nodes_pct_by_class(heap_exp, lag_sec)});
 }
 
 }  // namespace

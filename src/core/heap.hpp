@@ -24,16 +24,18 @@
 
 #include "aggregation/freshness_aggregator.hpp"
 #include "aggregation/push_sum.hpp"
-#include "core/fanout_policy.hpp"
 #include "core/heap_node.hpp"
 #include "fec/window_codec.hpp"
+#include "gossip/fanout_policy.hpp"
 #include "gossip/three_phase.hpp"
 #include "membership/cyclon.hpp"
 #include "membership/directory.hpp"
 #include "net/fabric.hpp"
+#include "scenario/deployment.hpp"
 #include "scenario/distribution.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/report.hpp"
+#include "scenario/sweep_runner.hpp"
 #include "sim/simulator.hpp"
 #include "stream/lag_analyzer.hpp"
 #include "stream/player.hpp"

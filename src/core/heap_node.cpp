@@ -8,12 +8,12 @@ HeapNode::HeapNode(sim::Simulator& simulator, net::NetworkFabric& fabric,
   if (config_.mode == Mode::kHeap) {
     aggregator_ = std::make_unique<aggregation::FreshnessAggregator>(
         simulator, fabric, *view_, self, config_.capability, config_.aggregation);
-    policy_ = std::make_unique<AdaptiveFanout>(
+    policy_ = std::make_unique<gossip::AdaptiveFanout>(
         config_.capability, aggregator_.get(),
-        AdaptiveFanoutConfig{.base_fanout = config_.gossip.base_fanout,
-                             .max_fanout = config_.max_fanout,
-                             .min_fanout = 0.0,
-                             .rounding = config_.rounding});
+        gossip::AdaptiveFanoutConfig{.base_fanout = config_.gossip.base_fanout,
+                                     .max_fanout = config_.max_fanout,
+                                     .min_fanout = 0.0,
+                                     .rounding = config_.rounding});
   } else {
     policy_ = std::make_unique<gossip::FixedFanout>(config_.gossip.base_fanout);
   }

@@ -10,7 +10,7 @@
 #include <optional>
 
 #include "aggregation/freshness_aggregator.hpp"
-#include "core/fanout_policy.hpp"
+#include "gossip/fanout_policy.hpp"
 #include "gossip/three_phase.hpp"
 #include "membership/directory.hpp"
 #include "net/fabric.hpp"
@@ -29,7 +29,7 @@ struct NodeConfig {
   gossip::GossipConfig gossip;
   aggregation::AggregationConfig aggregation;
   double max_fanout = 64.0;
-  FanoutRounding rounding = FanoutRounding::kRandomized;
+  gossip::FanoutRounding rounding = gossip::FanoutRounding::kRandomized;
 };
 
 class HeapNode {

@@ -1,0 +1,149 @@
+#include "scenario/deployment.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace hg::scenario {
+
+namespace {
+constexpr std::uint64_t kAssignStream = 0x41535347;  // "ASSG"
+constexpr std::uint64_t kNoiseStream = 0x4e4f4953;   // "NOIS"
+constexpr std::uint64_t kChurnStream = 0x4348524e;   // "CHRN"
+}  // namespace
+
+Deployment::~Deployment() = default;
+
+std::unique_ptr<Deployment> Deployment::Builder::build() const {
+  // make_unique can't reach the private constructor.
+  std::unique_ptr<Deployment> d(new Deployment());
+  d->stream_ = stream_;
+  d->churn_ = churn_;
+  d->sim_ = std::make_unique<sim::Simulator>(seed_);
+  sim::Simulator& sim = *d->sim_;
+
+  std::unique_ptr<net::LatencyModel> latency;
+  if (network_.latency.has_value()) {
+    latency = std::make_unique<net::PlanetLabLatency>(*network_.latency, sim.make_rng(7));
+  } else {
+    latency = std::make_unique<net::ConstantLatency>(sim::SimTime::ms(30));
+  }
+  std::unique_ptr<net::LossModel> loss;
+  if (network_.loss_rate > 0) {
+    loss = std::make_unique<net::BernoulliLoss>(network_.loss_rate);
+  } else {
+    loss = std::make_unique<net::NoLoss>();
+  }
+  d->fabric_ = std::make_unique<net::NetworkFabric>(sim, std::move(latency), std::move(loss),
+                                                    net::FabricConfig{network_.discipline});
+  d->directory_ = std::make_unique<membership::Directory>(sim, churn_.detection);
+
+  const std::size_t total = population_.node_count + 1;  // + source
+  for (std::uint32_t i = 0; i < total; ++i) d->directory_->add_node(NodeId{i});
+
+  NodeFactory make_node = factory_;
+  if (!make_node) {
+    make_node = [](sim::Simulator& s, net::NetworkFabric& f, membership::Directory& dir,
+                   NodeId id, const core::NodeConfig& cfg) {
+      return std::make_unique<core::HeapNode>(s, f, dir, id, cfg);
+    };
+  }
+
+  // --- source (node 0) ----------------------------------------------------
+  core::NodeConfig source_cfg = population_.node;
+  source_cfg.mode = core::Mode::kStandard;  // the broadcaster does not adapt
+  source_cfg.capability = population_.source_capability;
+  d->source_node_ = make_node(sim, *d->fabric_, *d->directory_, NodeId{0}, source_cfg);
+  d->fabric_->register_node(NodeId{0}, population_.source_capability,
+                            [node = d->source_node_.get()](const net::Datagram& dg) {
+                              node->on_datagram(dg);
+                            });
+
+  // --- receivers ----------------------------------------------------------
+  Rng assign_rng = sim.make_rng(kAssignStream);
+  Rng noise_rng = sim.make_rng(kNoiseStream);
+  const auto assignment = population_.distribution.assign(population_.node_count, assign_rng);
+
+  d->receivers_.reserve(population_.node_count);
+  for (std::size_t i = 0; i < population_.node_count; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(i + 1)};
+    Receiver r;
+    r.info.id = id;
+    r.info.class_index = assignment[i].class_index;
+    r.info.capability = assignment[i].capability;
+    r.info.actual_capacity = assignment[i].capability;
+    if (population_.noise_fraction > 0 && noise_rng.chance(population_.noise_fraction) &&
+        !r.info.capability.is_unlimited()) {
+      // A background-loaded PlanetLab node: delivers only part of its cap.
+      r.info.actual_capacity = r.info.capability * noise_rng.uniform(0.3, 0.7);
+    }
+
+    core::NodeConfig node_cfg = population_.node;
+    node_cfg.capability = r.info.capability;
+    r.node = make_node(sim, *d->fabric_, *d->directory_, id, node_cfg);
+    r.player = std::make_unique<stream::Player>(sim, stream_.stream, stream_.windows);
+    r.player->set_smart(population_.smart_receivers);
+
+    auto* player = r.player.get();
+    auto* node = r.node.get();
+    node->set_deliver([player](const gossip::Event& e) { player->on_deliver(e); });
+    node->set_should_request([player](gossip::EventId id) { return player->should_request(id); });
+    player->set_cancel_window(
+        [node](std::uint32_t w) { node->gossip().cancel_window_requests(w); });
+
+    d->fabric_->register_node(id, r.info.actual_capacity,
+                              [node](const net::Datagram& dg) { node->on_datagram(dg); });
+    d->receivers_.push_back(std::move(r));
+  }
+
+  // --- stream source app ---------------------------------------------------
+  d->source_ = std::make_unique<stream::StreamSource>(
+      sim, stream_.stream,
+      [source_node = d->source_node_.get()](gossip::Event e) {
+        source_node->publish(std::move(e));
+      });
+
+  // --- churn ----------------------------------------------------------------
+  // Armed here, not in start(): same-time events fire in scheduling order,
+  // and crashes must preempt protocol timers tied to the same timestamp.
+  Deployment* dp = d.get();
+  for (const ChurnEvent& event : churn_.schedule) {
+    dp->sim_->at(event.at, [dp, event]() { dp->apply_churn(event); });
+  }
+
+  return d;
+}
+
+void Deployment::start() {
+  HG_ASSERT_MSG(!started_, "Deployment::start is single-shot");
+  started_ = true;
+
+  source_->start(stream_.start, stream_.windows);
+  source_node_->start();
+  for (auto& r : receivers_) r.node->start();
+}
+
+void Deployment::apply_churn(const ChurnEvent& event) {
+  Rng churn_rng = sim_->make_rng(kChurnStream ^ static_cast<std::uint64_t>(event.at.as_us()));
+  std::vector<std::size_t> alive_idx;
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    if (!receivers_[i].info.crashed) alive_idx.push_back(i);
+  }
+  const auto kill_count = static_cast<std::size_t>(
+      event.fraction * static_cast<double>(receivers_.size()));
+  churn_rng.shuffle(alive_idx);
+  const std::size_t n = std::min(kill_count, alive_idx.size());
+  HG_LOG_INFO("churn at t=%.1fs: crashing %zu of %zu receivers", event.at.as_sec(), n,
+              alive_idx.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    Receiver& r = receivers_[alive_idx[k]];
+    r.info.crashed = true;
+    r.info.crashed_at = sim_->now();
+    r.node->stop();
+    fabric_->kill(r.info.id);
+    directory_->kill(r.info.id);
+  }
+}
+
+}  // namespace hg::scenario

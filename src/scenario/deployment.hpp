@@ -1,0 +1,175 @@
+// Deployment: the assembled system under test — simulator, network fabric,
+// membership directory, one protocol node + player per peer, a stream
+// source, and a churn schedule.
+//
+// Assembly is split into four composable plans (network, population, stream,
+// churn) glued together by a Builder, so scenarios can vary one axis without
+// re-describing the rest, and a pluggable NodeFactory so experiments can
+// substitute instrumented or misbehaving nodes. `Experiment` remains the
+// paper-shaped front end: it flattens an ExperimentConfig into these plans.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/heap_node.hpp"
+#include "membership/directory.hpp"
+#include "net/fabric.hpp"
+#include "scenario/distribution.hpp"
+#include "sim/simulator.hpp"
+#include "stream/player.hpp"
+#include "stream/source.hpp"
+
+namespace hg::scenario {
+
+struct ChurnEvent {
+  sim::SimTime at;
+  double fraction = 0.0;  // share of receivers crashed simultaneously
+};
+
+// --- composable plans ------------------------------------------------------
+
+struct NetworkPlan {
+  double loss_rate = 0.005;
+  net::QueueDiscipline discipline = net::QueueDiscipline::kFifo;
+  // Engaged: PlanetLab-like pairwise latencies. Empty: constant 30 ms.
+  std::optional<net::PlanetLabLatencyConfig> latency = net::PlanetLabLatencyConfig{};
+};
+
+struct PopulationPlan {
+  std::size_t node_count = 270;  // receivers; the source is an extra node (id 0)
+  BandwidthDistribution distribution = BandwidthDistribution::ref691();
+  // Template for every receiver; capability is overwritten per node from the
+  // distribution (mode/gossip/aggregation/max_fanout/rounding are shared).
+  core::NodeConfig node;
+  // The source is a well-provisioned peer; it gossips with the same average
+  // fanout but does not adapt (its capability would dwarf the estimate).
+  BitRate source_capability = BitRate::mbps(10);
+  // PlanetLab background-load noise: this share of nodes actually delivers
+  // only 30-70% of its nominal capability (paper §3.1 observed 5-7%).
+  double noise_fraction = 0.0;
+  bool smart_receivers = true;
+};
+
+struct StreamPlan {
+  stream::StreamConfig stream;        // paper defaults (551 kbps, 101+9, 1316 B)
+  std::uint32_t windows = 16;         // ~31 s of stream at paper rates
+  sim::SimTime start = sim::SimTime::sec(2.0);
+};
+
+struct ChurnPlan {
+  std::vector<ChurnEvent> schedule;   // crashes (Fig. 10)
+  membership::DetectionConfig detection;  // failure-detection latency
+};
+
+struct ReceiverInfo {
+  NodeId id;
+  int class_index = 0;
+  BitRate capability;          // declared/advertised
+  BitRate actual_capacity;     // enforced by the fabric (noise may derate)
+  bool crashed = false;
+  sim::SimTime crashed_at = sim::SimTime::max();
+  // Wire bytes this node had uploaded when the stream ended.
+  std::int64_t uploaded_bytes_at_stream_end = 0;
+};
+
+class Deployment {
+ public:
+  // Override to deploy custom node implementations (instrumented nodes,
+  // freeriders, ...). The default constructs a plain core::HeapNode.
+  using NodeFactory = std::function<std::unique_ptr<core::HeapNode>(
+      sim::Simulator&, net::NetworkFabric&, membership::Directory&, NodeId,
+      const core::NodeConfig&)>;
+
+  class Builder {
+   public:
+    Builder& seed(std::uint64_t seed) {
+      seed_ = seed;
+      return *this;
+    }
+    Builder& network(NetworkPlan plan) {
+      network_ = std::move(plan);
+      return *this;
+    }
+    Builder& population(PopulationPlan plan) {
+      population_ = std::move(plan);
+      return *this;
+    }
+    Builder& stream(StreamPlan plan) {
+      stream_ = std::move(plan);
+      return *this;
+    }
+    Builder& churn(ChurnPlan plan) {
+      churn_ = std::move(plan);
+      return *this;
+    }
+    Builder& node_factory(NodeFactory factory) {
+      factory_ = std::move(factory);
+      return *this;
+    }
+
+    // Assembles the full system and arms the churn schedule; protocol and
+    // stream activity only begins at start().
+    [[nodiscard]] std::unique_ptr<Deployment> build() const;
+
+   private:
+    std::uint64_t seed_ = 1;
+    NetworkPlan network_;
+    PopulationPlan population_;
+    StreamPlan stream_;
+    ChurnPlan churn_;
+    NodeFactory factory_;
+  };
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+  ~Deployment();
+
+  // Starts the source and the protocol on every node (the churn schedule is
+  // armed at build()). Call once, then drive sim().run_until(...).
+  void start();
+
+  [[nodiscard]] sim::Simulator& sim() { return *sim_; }
+  [[nodiscard]] net::NetworkFabric& fabric() { return *fabric_; }
+  [[nodiscard]] const net::NetworkFabric& fabric() const { return *fabric_; }
+  [[nodiscard]] membership::Directory& directory() { return *directory_; }
+  [[nodiscard]] stream::StreamSource& source() { return *source_; }
+  [[nodiscard]] const stream::StreamSource& source() const { return *source_; }
+  [[nodiscard]] const StreamPlan& stream_plan() const { return stream_; }
+
+  [[nodiscard]] std::size_t receivers() const { return receivers_.size(); }
+  [[nodiscard]] ReceiverInfo& info(std::size_t i) { return receivers_[i].info; }
+  [[nodiscard]] const ReceiverInfo& info(std::size_t i) const { return receivers_[i].info; }
+  [[nodiscard]] const stream::Player& player(std::size_t i) const {
+    return *receivers_[i].player;
+  }
+  [[nodiscard]] const core::HeapNode& node(std::size_t i) const { return *receivers_[i].node; }
+  [[nodiscard]] const net::TrafficMeter& meter(std::size_t i) const {
+    return fabric_->meter(receivers_[i].info.id);
+  }
+
+ private:
+  Deployment() = default;
+
+  struct Receiver {
+    ReceiverInfo info;
+    std::unique_ptr<core::HeapNode> node;
+    std::unique_ptr<stream::Player> player;
+  };
+
+  void apply_churn(const ChurnEvent& event);
+
+  StreamPlan stream_;
+  ChurnPlan churn_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::NetworkFabric> fabric_;
+  std::unique_ptr<membership::Directory> directory_;
+  std::unique_ptr<core::HeapNode> source_node_;
+  std::unique_ptr<stream::StreamSource> source_;
+  std::vector<Receiver> receivers_;
+  bool started_ = false;
+};
+
+}  // namespace hg::scenario

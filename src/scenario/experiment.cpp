@@ -1,165 +1,75 @@
 #include "scenario/experiment.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
-#include "common/log.hpp"
 
 namespace hg::scenario {
 
-namespace {
-constexpr std::uint64_t kAssignStream = 0x41535347;  // "ASSG"
-constexpr std::uint64_t kNoiseStream = 0x4e4f4953;   // "NOIS"
-constexpr std::uint64_t kChurnStream = 0x4348524e;   // "CHRN"
-}  // namespace
+NetworkPlan ExperimentConfig::network_plan() const {
+  NetworkPlan plan;
+  plan.loss_rate = loss_rate;
+  plan.discipline = discipline;
+  plan.latency = latency;
+  return plan;
+}
+
+PopulationPlan ExperimentConfig::population_plan() const {
+  PopulationPlan plan;
+  plan.node_count = node_count;
+  plan.distribution = distribution;
+  plan.source_capability = source_capability;
+  plan.noise_fraction = noise_fraction;
+  plan.smart_receivers = smart_receivers;
+
+  plan.node.mode = mode;
+  plan.node.gossip.period = gossip_period;
+  plan.node.gossip.base_fanout = fanout;
+  plan.node.gossip.retransmit_period = retransmit_period;
+  plan.node.gossip.max_retransmits = max_retransmits;
+  plan.node.aggregation = aggregation;
+  plan.node.max_fanout = max_fanout;
+  plan.node.rounding = rounding;
+  return plan;
+}
+
+StreamPlan ExperimentConfig::stream_plan() const {
+  return StreamPlan{stream, stream_windows, stream_start};
+}
+
+ChurnPlan ExperimentConfig::churn_plan() const { return ChurnPlan{churn, detection}; }
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
 
 Experiment::~Experiment() = default;
 
-void Experiment::build() {
-  sim_ = std::make_unique<sim::Simulator>(config_.seed);
-
-  std::unique_ptr<net::LatencyModel> latency;
-  if (config_.latency.has_value()) {
-    latency = std::make_unique<net::PlanetLabLatency>(*config_.latency, sim_->make_rng(7));
-  } else {
-    latency = std::make_unique<net::ConstantLatency>(sim::SimTime::ms(30));
-  }
-  std::unique_ptr<net::LossModel> loss;
-  if (config_.loss_rate > 0) {
-    loss = std::make_unique<net::BernoulliLoss>(config_.loss_rate);
-  } else {
-    loss = std::make_unique<net::NoLoss>();
-  }
-  fabric_ = std::make_unique<net::NetworkFabric>(*sim_, std::move(latency), std::move(loss),
-                                                 net::FabricConfig{config_.discipline});
-  directory_ = std::make_unique<membership::Directory>(*sim_, config_.detection);
-
-  const std::size_t total = config_.node_count + 1;  // + source
-  for (std::uint32_t i = 0; i < total; ++i) directory_->add_node(NodeId{i});
-
-  // --- source (node 0) ----------------------------------------------------
-  gossip::GossipConfig gossip_cfg;
-  gossip_cfg.period = config_.gossip_period;
-  gossip_cfg.base_fanout = config_.fanout;
-  gossip_cfg.retransmit_period = config_.retransmit_period;
-  gossip_cfg.max_retransmits = config_.max_retransmits;
-
-  core::NodeConfig source_cfg;
-  source_cfg.mode = core::Mode::kStandard;  // the broadcaster does not adapt
-  source_cfg.capability = config_.source_capability;
-  source_cfg.gossip = gossip_cfg;
-  source_node_ = std::make_unique<core::HeapNode>(*sim_, *fabric_, *directory_, NodeId{0},
-                                                  source_cfg);
-  fabric_->register_node(NodeId{0}, config_.source_capability,
-                         [node = source_node_.get()](const net::Datagram& d) {
-                           node->on_datagram(d);
-                         });
-
-  // --- receivers ----------------------------------------------------------
-  Rng assign_rng = sim_->make_rng(kAssignStream);
-  Rng noise_rng = sim_->make_rng(kNoiseStream);
-  const auto assignment = config_.distribution.assign(config_.node_count, assign_rng);
-
-  receivers_.reserve(config_.node_count);
-  for (std::size_t i = 0; i < config_.node_count; ++i) {
-    const NodeId id{static_cast<std::uint32_t>(i + 1)};
-    Receiver r;
-    r.info.id = id;
-    r.info.class_index = assignment[i].class_index;
-    r.info.capability = assignment[i].capability;
-    r.info.actual_capacity = assignment[i].capability;
-    if (config_.noise_fraction > 0 && noise_rng.chance(config_.noise_fraction) &&
-        !r.info.capability.is_unlimited()) {
-      // A background-loaded PlanetLab node: delivers only part of its cap.
-      r.info.actual_capacity = r.info.capability * noise_rng.uniform(0.3, 0.7);
-    }
-
-    core::NodeConfig node_cfg;
-    node_cfg.mode = config_.mode;
-    node_cfg.capability = r.info.capability;
-    node_cfg.gossip = gossip_cfg;
-    node_cfg.aggregation = config_.aggregation;
-    node_cfg.max_fanout = config_.max_fanout;
-    node_cfg.rounding = config_.rounding;
-    r.node = std::make_unique<core::HeapNode>(*sim_, *fabric_, *directory_, id, node_cfg);
-    r.player = std::make_unique<stream::Player>(*sim_, config_.stream, config_.stream_windows);
-    r.player->set_smart(config_.smart_receivers);
-
-    auto* player = r.player.get();
-    auto* node = r.node.get();
-    node->set_deliver([player](const gossip::Event& e) { player->on_deliver(e); });
-    node->set_should_request([player](gossip::EventId id) { return player->should_request(id); });
-    player->set_cancel_window(
-        [node](std::uint32_t w) { node->gossip().cancel_window_requests(w); });
-
-    fabric_->register_node(id, r.info.actual_capacity,
-                           [node](const net::Datagram& d) { node->on_datagram(d); });
-    receivers_.push_back(std::move(r));
-  }
-
-  // --- stream source app ----------------------------------------------------
-  source_ = std::make_unique<stream::StreamSource>(
-      *sim_, config_.stream,
-      [this](gossip::Event e) { source_node_->publish(std::move(e)); });
-
-  // --- churn ----------------------------------------------------------------
-  for (const ChurnEvent& event : config_.churn) {
-    sim_->at(event.at, [this, event]() { apply_churn(event); });
-  }
-}
-
-void Experiment::apply_churn(const ChurnEvent& event) {
-  Rng churn_rng = sim_->make_rng(kChurnStream ^ static_cast<std::uint64_t>(event.at.as_us()));
-  std::vector<std::size_t> alive_idx;
-  for (std::size_t i = 0; i < receivers_.size(); ++i) {
-    if (!receivers_[i].info.crashed) alive_idx.push_back(i);
-  }
-  const auto kill_count = static_cast<std::size_t>(
-      event.fraction * static_cast<double>(receivers_.size()));
-  churn_rng.shuffle(alive_idx);
-  const std::size_t n = std::min(kill_count, alive_idx.size());
-  HG_LOG_INFO("churn at t=%.1fs: crashing %zu of %zu receivers", event.at.as_sec(), n,
-              alive_idx.size());
-  for (std::size_t k = 0; k < n; ++k) {
-    Receiver& r = receivers_[alive_idx[k]];
-    r.info.crashed = true;
-    r.info.crashed_at = sim_->now();
-    r.node->stop();
-    fabric_->kill(r.info.id);
-    directory_->kill(r.info.id);
-  }
-}
-
 void Experiment::run() {
   HG_ASSERT_MSG(!ran_, "Experiment::run is single-shot");
   ran_ = true;
-  build();
 
-  source_->start(config_.stream_start, config_.stream_windows);
-  source_node_->start();
-  for (auto& r : receivers_) r.node->start();
+  deployment_ = Deployment::Builder{}
+                    .seed(config_.seed)
+                    .network(config_.network_plan())
+                    .population(config_.population_plan())
+                    .stream(config_.stream_plan())
+                    .churn(config_.churn_plan())
+                    .build();
+  deployment_->start();
 
-  analyzer_ = std::make_unique<stream::LagAnalyzer>(*source_);
+  analyzer_ = std::make_unique<stream::LagAnalyzer>(deployment_->source());
 
   // Snapshot upload counters when the stream ends: Fig. 4's usage is the
   // mean upload rate while the stream is live.
-  sim_->at(config_.stream_end(), [this]() {
-    for (auto& r : receivers_) {
-      r.info.uploaded_bytes_at_stream_end = fabric_->meter(r.info.id).total_sent_bytes();
+  deployment_->sim().at(config_.stream_end(), [this]() {
+    for (std::size_t i = 0; i < deployment_->receivers(); ++i) {
+      ReceiverInfo& info = deployment_->info(i);
+      info.uploaded_bytes_at_stream_end = deployment_->meter(i).total_sent_bytes();
     }
   });
 
-  sim_->run_until(config_.run_end());
-}
-
-const net::TrafficMeter& Experiment::meter(std::size_t i) const {
-  return fabric_->meter(receivers_[i].info.id);
+  deployment_->sim().run_until(config_.run_end());
 }
 
 double Experiment::upload_usage(std::size_t i) const {
-  const ReceiverInfo& info = receivers_[i].info;
+  const ReceiverInfo& info = deployment_->info(i);
   if (info.actual_capacity.is_unlimited()) return 0.0;
   const double bits = static_cast<double>(info.uploaded_bytes_at_stream_end) * 8.0;
   const double capacity_bits =
@@ -170,17 +80,19 @@ double Experiment::upload_usage(std::size_t i) const {
 
 std::vector<const stream::Player*> Experiment::surviving_players() const {
   std::vector<const stream::Player*> out;
-  out.reserve(receivers_.size());
-  for (const auto& r : receivers_) {
-    if (!r.info.crashed) out.push_back(r.player.get());
+  out.reserve(deployment_->receivers());
+  for (std::size_t i = 0; i < deployment_->receivers(); ++i) {
+    if (!deployment_->info(i).crashed) out.push_back(&deployment_->player(i));
   }
   return out;
 }
 
 std::vector<const stream::Player*> Experiment::players_of_class(int class_index) const {
   std::vector<const stream::Player*> out;
-  for (const auto& r : receivers_) {
-    if (!r.info.crashed && r.info.class_index == class_index) out.push_back(r.player.get());
+  for (std::size_t i = 0; i < deployment_->receivers(); ++i) {
+    if (!deployment_->info(i).crashed && deployment_->info(i).class_index == class_index) {
+      out.push_back(&deployment_->player(i));
+    }
   }
   return out;
 }

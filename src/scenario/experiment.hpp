@@ -1,30 +1,22 @@
-// Experiment runner: assembles a complete deployment — simulator, network
-// fabric, membership, one protocol node + player per peer, a stream source,
-// optional churn — runs it, and exposes everything the report builders need.
+// Experiment runner: the paper-shaped front end over the composable
+// Deployment builder. One flat ExperimentConfig describes a complete run —
+// population, network, stream, churn — which run() decomposes into the
+// deployment plans, executes to run_end(), and exposes to the report
+// builders.
 //
 // This is the in-silico equivalent of the paper's 270-node PlanetLab
-// testbed driver.
+// testbed driver. For multi-seed / multi-config executions across a thread
+// pool, see scenario/sweep_runner.hpp.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
-#include "core/heap_node.hpp"
-#include "membership/directory.hpp"
-#include "net/fabric.hpp"
-#include "scenario/distribution.hpp"
-#include "sim/simulator.hpp"
+#include "scenario/deployment.hpp"
 #include "stream/lag_analyzer.hpp"
-#include "stream/player.hpp"
-#include "stream/source.hpp"
 
 namespace hg::scenario {
-
-struct ChurnEvent {
-  sim::SimTime at;
-  double fraction = 0.0;  // share of receivers crashed simultaneously
-};
 
 struct ExperimentConfig {
   // Population: receivers; the source is an extra node (id 0).
@@ -64,7 +56,7 @@ struct ExperimentConfig {
   int max_retransmits = 8;
   aggregation::AggregationConfig aggregation;
   double max_fanout = 64.0;
-  core::FanoutRounding rounding = core::FanoutRounding::kRandomized;
+  gossip::FanoutRounding rounding = gossip::FanoutRounding::kRandomized;
   bool smart_receivers = true;
 
   std::uint64_t seed = 1;
@@ -74,6 +66,13 @@ struct ExperimentConfig {
                                             static_cast<double>(stream_windows));
   }
   [[nodiscard]] sim::SimTime run_end() const { return stream_end() + tail; }
+
+  // Decomposition into the deployment plans (run() uses these; scenarios
+  // that want to swap one axis can take them piecemeal).
+  [[nodiscard]] NetworkPlan network_plan() const;
+  [[nodiscard]] PopulationPlan population_plan() const;
+  [[nodiscard]] StreamPlan stream_plan() const;
+  [[nodiscard]] ChurnPlan churn_plan() const;
 };
 
 class Experiment {
@@ -90,30 +89,24 @@ class Experiment {
   // --- results (valid after run()) ---------------------------------------
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] const stream::LagAnalyzer& analyzer() const { return *analyzer_; }
-  [[nodiscard]] std::size_t receivers() const { return receivers_.size(); }
+  [[nodiscard]] std::size_t receivers() const { return deployment_->receivers(); }
 
-  struct ReceiverInfo {
-    NodeId id;
-    int class_index = 0;
-    BitRate capability;          // declared/advertised
-    BitRate actual_capacity;     // enforced by the fabric (noise may derate)
-    bool crashed = false;
-    sim::SimTime crashed_at = sim::SimTime::max();
-    // Wire bytes this node had uploaded when the stream ended.
-    std::int64_t uploaded_bytes_at_stream_end = 0;
-  };
+  using ReceiverInfo = scenario::ReceiverInfo;
 
-  [[nodiscard]] const ReceiverInfo& info(std::size_t i) const { return receivers_[i].info; }
+  [[nodiscard]] const ReceiverInfo& info(std::size_t i) const { return deployment_->info(i); }
   [[nodiscard]] const stream::Player& player(std::size_t i) const {
-    return *receivers_[i].player;
+    return deployment_->player(i);
   }
   [[nodiscard]] const core::HeapNode& node(std::size_t i) const {
-    return *receivers_[i].node;
+    return deployment_->node(i);
   }
-  [[nodiscard]] const net::TrafficMeter& meter(std::size_t i) const;
-  [[nodiscard]] const net::NetworkFabric& fabric() const { return *fabric_; }
-  [[nodiscard]] const stream::StreamSource& source() const { return *source_; }
-  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] const net::TrafficMeter& meter(std::size_t i) const {
+    return deployment_->meter(i);
+  }
+  [[nodiscard]] const net::NetworkFabric& fabric() const { return deployment_->fabric(); }
+  [[nodiscard]] const stream::StreamSource& source() const { return deployment_->source(); }
+  [[nodiscard]] sim::Simulator& simulator() { return deployment_->sim(); }
+  [[nodiscard]] Deployment& deployment() { return *deployment_; }
 
   // Mean upload usage (fraction of actual capacity) over the stream
   // interval, including all protocol overhead — Fig. 4's quantity.
@@ -124,23 +117,9 @@ class Experiment {
   [[nodiscard]] std::vector<const stream::Player*> players_of_class(int class_index) const;
 
  private:
-  struct Receiver {
-    ReceiverInfo info;
-    std::unique_ptr<core::HeapNode> node;
-    std::unique_ptr<stream::Player> player;
-  };
-
-  void build();
-  void apply_churn(const ChurnEvent& event);
-
   ExperimentConfig config_;
-  std::unique_ptr<sim::Simulator> sim_;
-  std::unique_ptr<net::NetworkFabric> fabric_;
-  std::unique_ptr<membership::Directory> directory_;
-  std::unique_ptr<core::HeapNode> source_node_;
-  std::unique_ptr<stream::StreamSource> source_;
+  std::unique_ptr<Deployment> deployment_;
   std::unique_ptr<stream::LagAnalyzer> analyzer_;
-  std::vector<Receiver> receivers_;
   bool ran_ = false;
 };
 

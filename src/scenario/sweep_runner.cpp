@@ -1,0 +1,63 @@
+#include "scenario/sweep_runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace hg::scenario {
+
+std::vector<ExperimentConfig> SweepRunner::seed_sweep(ExperimentConfig base,
+                                                      const std::vector<std::uint64_t>& seeds) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(seeds.size());
+  for (const std::uint64_t seed : seeds) {
+    ExperimentConfig cfg = base;
+    cfg.seed = seed;
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+std::vector<std::unique_ptr<Experiment>> SweepRunner::run_experiments(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<std::unique_ptr<Experiment>> experiments(configs.size());
+  run_indexed(configs.size(), [&](std::size_t i) {
+    experiments[i] = std::make_unique<Experiment>(configs[i]);
+    experiments[i]->run();
+  });
+  return experiments;
+}
+
+void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, n);
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+
+  // Work stealing off a shared counter: job i is claimed by exactly one
+  // worker. Each job writes only its own result slot, so the merged output
+  // is independent of scheduling order.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      job(i);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace hg::scenario

@@ -1,0 +1,74 @@
+// SweepRunner: executes N seeds × M configs across a thread pool.
+//
+// Each job builds and runs its own Experiment — a Simulator and everything
+// hanging off it are self-contained, so replicas share nothing and no
+// locking is needed. Results are merged deterministically: job i's result
+// always lands in slot i, regardless of which worker finished first, so a
+// parallel sweep is bitwise-identical to running the same configs
+// sequentially.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+
+namespace hg::scenario {
+
+struct SweepOptions {
+  // 0 = one thread per hardware core (capped by the number of jobs).
+  std::size_t threads = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  // The same config at each of `seeds` — the common "N replicas" sweep.
+  [[nodiscard]] static std::vector<ExperimentConfig> seed_sweep(
+      ExperimentConfig base, const std::vector<std::uint64_t>& seeds);
+
+  // Runs every config, hands the finished Experiment to `analyze`, and
+  // returns the per-job analysis results in config order. The Experiment is
+  // destroyed after analysis, so memory stays bounded by the worker count.
+  template <class Fn>
+  auto map(const std::vector<ExperimentConfig>& configs, Fn&& analyze)
+      -> std::vector<std::invoke_result_t<Fn&, Experiment&>> {
+    using R = std::invoke_result_t<Fn&, Experiment&>;
+    // Boxed so workers write distinct objects even when R is bool
+    // (std::vector<bool> packs bits — concurrent element writes would race).
+    struct Boxed {
+      R value{};
+    };
+    std::vector<Boxed> slots(configs.size());
+    run_indexed(configs.size(), [&](std::size_t i) {
+      Experiment exp(configs[i]);
+      exp.run();
+      slots[i].value = analyze(exp);
+    });
+    std::vector<R> results;
+    results.reserve(slots.size());
+    for (Boxed& s : slots) results.push_back(std::move(s.value));
+    return results;
+  }
+
+  // Runs every config and keeps the full Experiments (config order). Heavier
+  // than map() — all replicas stay resident — but lets callers drive several
+  // report builders over each run.
+  [[nodiscard]] std::vector<std::unique_ptr<Experiment>> run_experiments(
+      const std::vector<ExperimentConfig>& configs);
+
+ private:
+  // Executes job(0..n-1), each exactly once, across the pool. Blocks until
+  // all jobs finish.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& job);
+
+  SweepOptions options_;
+};
+
+}  // namespace hg::scenario

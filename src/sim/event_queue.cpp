@@ -1,54 +1,92 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
-#include "common/assert.hpp"
-
 namespace hg::sim {
 
 void EventHandle::cancel() {
-  if (alive_) *alive_ = false;
-  alive_.reset();
+  if (queue_ != nullptr) queue_->cancel(slot_, gen_);
+  queue_ = nullptr;
 }
 
-bool EventHandle::pending() const { return alive_ && *alive_; }
-
-EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
-  auto alive = std::make_shared<bool>(true);
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), alive});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  return EventHandle{std::move(alive)};
+bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->handle_pending(slot_, gen_);
 }
 
-void EventQueue::schedule_fire_and_forget(SimTime at, EventFn fn) {
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), nullptr});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+void EventQueue::free_slot(std::uint32_t i) {
+  Slot& s = slots_[i];
+  s.fn.reset();
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = i;
+  --live_;
+}
+
+void EventQueue::cancel(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return;  // fired or cancelled
+  free_slot(slot);  // heap entry stays behind as a generation-mismatched tombstone
+}
+
+bool EventQueue::handle_pending(std::uint32_t slot, std::uint32_t gen) const {
+  return slot < slots_.size() && slots_[slot].gen == gen;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!(heap_[parent] > e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kHeapArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[best] > heap_[c]) best = c;
+    }
+    if (!(e > heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_top() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::pop_dead() {
-  while (!heap_.empty() && heap_.front().alive && !*heap_.front().alive) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
-  }
-}
-
-bool EventQueue::prune_and_empty() {
-  pop_dead();
-  return heap_.empty();
+  while (!heap_.empty() && !entry_live(heap_.front())) pop_top();
 }
 
 bool EventQueue::run_next(SimTime& now) {
   pop_dead();
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
+  const Entry e = heap_.front();
+  pop_top();
   HG_ASSERT_MSG(e.at >= now, "event queue must never run backwards in time");
   now = e.at;
   ++executed_;
-  if (e.alive) *e.alive = false;  // mark fired so handle.pending() is false
-  e.fn();
+  // Move the callback out before freeing: the callback may schedule further
+  // events, which can grow (and reallocate) the slot slab.
+  SmallFn fn = std::move(slots_[e.slot].fn);
+  free_slot(e.slot);  // generation bump: handles report !pending() while running
+  fn();
   return true;
+}
+
+bool EventQueue::prune_and_empty() {
+  pop_dead();
+  return heap_.empty();
 }
 
 SimTime EventQueue::next_time() const {

@@ -1,10 +1,15 @@
 // The simulation driver: virtual clock + event loop + periodic timers.
+//
+// Scheduling is templated end-to-end: a lambda passed to at()/after() lands
+// directly in the event queue's pooled slot storage without a std::function
+// round-trip, so the common paths allocate nothing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <utility>
 
+#include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -19,11 +24,25 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   // Schedule at an absolute virtual time (must not be in the past).
-  EventHandle at(SimTime when, EventFn fn);
+  template <class F>
+  EventHandle at(SimTime when, F&& fn) {
+    HG_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    return queue_.schedule(when, std::forward<F>(fn));
+  }
+
   // Schedule after a delay from now.
-  EventHandle after(SimTime delay, EventFn fn);
+  template <class F>
+  EventHandle after(SimTime delay, F&& fn) {
+    HG_ASSERT(delay >= SimTime::zero());
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
+
   // Non-cancellable fast path.
-  void after_fire_and_forget(SimTime delay, EventFn fn);
+  template <class F>
+  void after_fire_and_forget(SimTime delay, F&& fn) {
+    HG_ASSERT(delay >= SimTime::zero());
+    queue_.schedule_fire_and_forget(now_ + delay, std::forward<F>(fn));
+  }
 
   // Repeats `fn` every `period` until the returned handle is cancelled or the
   // run ends. First invocation after `initial_delay`. The callback may cancel

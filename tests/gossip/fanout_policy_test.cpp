@@ -1,8 +1,13 @@
-#include "core/fanout_policy.hpp"
+#include "gossip/fanout_policy.hpp"
 
 #include <gtest/gtest.h>
 
-namespace hg::core {
+#include <cmath>
+#include <limits>
+
+#include "aggregation/freshness_aggregator.hpp"
+
+namespace hg::gossip {
 namespace {
 
 class FakeEstimator final : public aggregation::CapabilityEstimator {
@@ -16,19 +21,45 @@ class FakeEstimator final : public aggregation::CapabilityEstimator {
 };
 
 TEST(FixedFanout, IntegerIsExact) {
-  gossip::FixedFanout p(7.0);
+  FixedFanout p(7.0);
   Rng rng(1);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(p.fanout_for_round(rng), 7u);
   EXPECT_DOUBLE_EQ(p.current_target(), 7.0);
 }
 
 TEST(FixedFanout, FractionalAveragesOut) {
-  gossip::FixedFanout p(7.4);
+  FixedFanout p(7.4);
   Rng rng(2);
   double sum = 0;
   constexpr int kRounds = 100000;
   for (int i = 0; i < kRounds; ++i) sum += static_cast<double>(p.fanout_for_round(rng));
   EXPECT_NEAR(sum / kRounds, 7.4, 0.02);
+}
+
+TEST(FixedFanout, ZeroFanoutIsZero) {
+  FixedFanout p(0.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.fanout_for_round(rng), 0u);
+}
+
+TEST(FixedFanout, NegativeFanoutClampsToZeroInsteadOfWrapping) {
+  // A sweep config of -1 used to floor through size_t and wrap to ~2^64.
+  FixedFanout p(-1.0);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.fanout_for_round(rng), 0u);
+  FixedFanout tiny(-0.3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(tiny.fanout_for_round(rng), 0u);
+}
+
+TEST(FixedFanoutDeathTest, NanFanoutAbortsLoudly) {
+  EXPECT_DEATH(FixedFanout{std::numeric_limits<double>::quiet_NaN()}, "NaN");
+}
+
+TEST(AdaptiveFanoutDeathTest, NanBaseFanoutAbortsLoudly) {
+  FakeEstimator est(691'000.0);
+  AdaptiveFanoutConfig cfg;
+  cfg.base_fanout = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(AdaptiveFanout(BitRate::kbps(512), &est, cfg), "NaN");
 }
 
 TEST(AdaptiveFanout, PaperEquationFp) {
@@ -112,4 +143,4 @@ TEST(AdaptiveFanout, RandomizedRoundingIsExactInExpectation) {
 }
 
 }  // namespace
-}  // namespace hg::core
+}  // namespace hg::gossip

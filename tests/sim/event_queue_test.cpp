@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace hg::sim {
@@ -96,6 +99,110 @@ TEST(EventQueue, ExecutedCountsOnlyRunEvents) {
   while (q.run_next(now)) {
   }
   EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueue, StaleHandleCannotCancelReusedSlot) {
+  // Generation check: after a slot is freed and reused by a new event, a
+  // handle to the old event must be inert against the new occupant.
+  EventQueue q;
+  SimTime now = SimTime::zero();
+  EventHandle a = q.schedule(SimTime::ms(1), [] {});
+  EventHandle stale = a;  // copies share (slot, generation)
+  a.cancel();             // frees the slot
+  bool fired = false;
+  EventHandle b = q.schedule(SimTime::ms(2), [&] { fired = true; });  // reuses it
+  EXPECT_FALSE(stale.pending());
+  EXPECT_TRUE(b.pending());
+  stale.cancel();  // must not touch b's slot (generation mismatch)
+  EXPECT_TRUE(b.pending());
+  while (q.run_next(now)) {
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, HandleInvalidatedAfterFireEvenWhenSlotReused) {
+  EventQueue q;
+  SimTime now = SimTime::zero();
+  EventHandle h = q.schedule(SimTime::ms(1), [] {});
+  ASSERT_TRUE(q.run_next(now));  // fires; slot freed, generation bumped
+  EXPECT_FALSE(h.pending());
+  bool fired = false;
+  EventHandle fresh = q.schedule(SimTime::ms(2), [&] { fired = true; });
+  EXPECT_FALSE(h.pending());  // stale handle must not see the reused slot
+  h.cancel();                 // and must not cancel the new event
+  EXPECT_TRUE(fresh.pending());
+  while (q.run_next(now)) {
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, SlotPoolIsReused) {
+  EventQueue q;
+  SimTime now = SimTime::zero();
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      q.schedule_fire_and_forget(SimTime::ms(round * 100 + i + 1), [] {});
+    }
+    while (q.run_next(now)) {
+    }
+  }
+  EXPECT_EQ(q.live_events(), 0u);
+  // The free list recycles slots: the pool never grows past one round's peak.
+  EXPECT_LE(q.pool_slots(), 16u);
+  EXPECT_EQ(q.executed(), 160u);
+}
+
+TEST(EventQueue, CancelledSlotReclaimedImmediately) {
+  EventQueue q;
+  EventHandle h = q.schedule(SimTime::ms(1), [] {});
+  EXPECT_EQ(q.live_events(), 1u);
+  h.cancel();
+  EXPECT_EQ(q.live_events(), 0u);
+  // The tombstone stays in the heap until popped...
+  EXPECT_EQ(q.size(), 1u);
+  // ...but the slot is free for the next event.
+  q.schedule_fire_and_forget(SimTime::ms(2), [] {});
+  EXPECT_EQ(q.pool_slots(), 1u);
+}
+
+TEST(SmallFnTest, InlineAndHeapStorage) {
+  int hit = 0;
+  SmallFn small([&hit] { ++hit; });  // one pointer capture: inline
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hit, 1);
+
+  struct Big {
+    char payload[SmallFn::kInlineBytes + 8] = {};
+    int* counter;
+  };
+  Big big;
+  big.counter = &hit;
+  SmallFn large([big] { ++*big.counter; });  // exceeds the buffer: heap
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(hit, 2);
+
+  // Move transfers the callable and empties the source.
+  SmallFn moved = std::move(small);
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(hit, 3);
+}
+
+TEST(SmallFnTest, DatagramSizedCaptureStaysInline) {
+  // The hot path captures a fabric pointer + a ~32-byte datagram; that must
+  // fit the inline buffer or the refactor's zero-allocation claim is void.
+  struct DatagramShaped {
+    std::uint32_t src, dst;
+    std::uint32_t msg_class;
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  };
+  void* fabric = nullptr;
+  DatagramShaped d{1, 2, 3, nullptr};
+  SmallFn fn([fabric, d] { (void)fabric; });
+  EXPECT_TRUE(fn.is_inline());
 }
 
 TEST(SimTimeTest, Arithmetic) {

@@ -80,6 +80,58 @@ TEST(Simulator, PeriodicTimerSelfCancelFromCallback) {
   EXPECT_EQ(count, 5);
 }
 
+TEST(Simulator, PeriodicSelfCancelLeavesQueueClean) {
+  // A periodic timer cancelled from inside its own callback must stop
+  // rescheduling; nothing of it may linger in the pool once the run drains.
+  Simulator s(1);
+  int count = 0;
+  Simulator::PeriodicHandle h;
+  h = s.every(SimTime::ms(10), SimTime::ms(10), [&] {
+    if (++count == 3) h.cancel();
+  });
+  s.run_until(SimTime::sec(1));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(h.active());
+  EXPECT_EQ(s.queue().live_events(), 0u);
+}
+
+TEST(Simulator, PeriodicSelfCancelThenNewTimerReusesSlots) {
+  // Slot-pool reuse across timer lifetimes: a second periodic timer created
+  // after the first self-cancels runs on recycled slots without cross-talk.
+  Simulator s(1);
+  int first = 0, second = 0;
+  Simulator::PeriodicHandle h1;
+  h1 = s.every(SimTime::ms(10), SimTime::ms(10), [&] {
+    if (++first == 5) h1.cancel();
+  });
+  s.run_until(SimTime::ms(200));
+  EXPECT_EQ(first, 5);
+
+  Simulator::PeriodicHandle h2;
+  h2 = s.every(SimTime::ms(10), SimTime::ms(10), [&] {
+    if (++second == 4) h2.cancel();
+  });
+  s.run_until(SimTime::sec(1));
+  EXPECT_EQ(first, 5);   // the dead timer must not resurrect on reused slots
+  EXPECT_EQ(second, 4);
+  EXPECT_EQ(s.queue().live_events(), 0u);
+}
+
+TEST(Simulator, StaleEventHandleAfterSlotReuse) {
+  // Simulator-level version of the generation check: a handle whose event
+  // fired stays inert even after its pooled slot hosts a new event.
+  Simulator s(1);
+  bool second_fired = false;
+  EventHandle first = s.after(SimTime::ms(1), [] {});
+  s.run_until(SimTime::ms(5));
+  EXPECT_FALSE(first.pending());
+  EventHandle second = s.after(SimTime::ms(1), [&] { second_fired = true; });
+  first.cancel();  // stale; must not cancel `second` in the reused slot
+  EXPECT_TRUE(second.pending());
+  s.run_until(SimTime::ms(10));
+  EXPECT_TRUE(second_fired);
+}
+
 TEST(Simulator, MakeRngDeterministicByTag) {
   Simulator a(77), b(77);
   Rng ra = a.make_rng(5), rb = b.make_rng(5);
