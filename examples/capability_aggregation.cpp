@@ -44,7 +44,7 @@ int main() {
                              const net::Datagram& d) {
                            // Both protocols share the node's port; dispatch by
                            // first byte (push-sum uses its private 0xf5 tag).
-                           if (!d.bytes->empty() && (*d.bytes)[0] == 0xf5) {
+                           if (!d.bytes.empty() && d.bytes.data()[0] == 0xf5) {
                              p->on_datagram(d);
                            } else {
                              f->on_datagram(d);

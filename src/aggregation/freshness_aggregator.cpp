@@ -54,7 +54,7 @@ void FreshnessAggregator::gossip_round() {
 }
 
 void FreshnessAggregator::on_datagram(const net::Datagram& d) {
-  auto msg = gossip::decode_aggregation(*d.bytes);
+  auto msg = gossip::decode_aggregation(d.bytes);
   if (!msg) return;
   for (const gossip::CapabilityRecord& rec : msg->records) {
     if (rec.origin == self_) continue;  // own value is authoritative locally

@@ -44,12 +44,11 @@ void PushSumNode::round() {
   w.u32(self_.value());
   w.f64(sum_);
   w.f64(weight_);
-  fabric_.send(self_, target_scratch_[0], net::MsgClass::kAggregation,
-               std::make_shared<const std::vector<std::uint8_t>>(w.take()));
+  fabric_.send(self_, target_scratch_[0], net::MsgClass::kAggregation, w.finish());
 }
 
 void PushSumNode::on_datagram(const net::Datagram& d) {
-  net::ByteReader r(*d.bytes);
+  net::ByteReader r(d.bytes);
   const auto tag = r.u8();
   if (!tag || *tag != kPushSumTag) return;
   const auto from = r.u32();

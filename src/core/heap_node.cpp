@@ -32,7 +32,7 @@ void HeapNode::stop() {
 }
 
 void HeapNode::on_datagram(const net::Datagram& d) {
-  const auto tag = gossip::peek_tag(*d.bytes);
+  const auto tag = gossip::peek_tag(d.bytes);
   if (!tag) return;
   switch (*tag) {
     case gossip::MsgTag::kPropose:

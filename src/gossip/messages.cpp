@@ -4,7 +4,7 @@ namespace hg::gossip {
 
 namespace {
 
-void write_ids(net::ByteWriter& w, const std::vector<EventId>& ids) {
+void write_ids(net::ByteWriter& w, std::span<const EventId> ids) {
   w.varint(ids.size());
   // Ids within one message are near-consecutive (they batch one gossip
   // period of the stream); delta-encoding would shave bytes but the paper
@@ -24,42 +24,64 @@ void write_ids(net::ByteWriter& w, const std::vector<EventId>& ids) {
   return true;
 }
 
-std::shared_ptr<const std::vector<std::uint8_t>> finish(net::ByteWriter&& w) {
-  return std::make_shared<const std::vector<std::uint8_t>>(w.take());
-}
-
 }  // namespace
 
-std::shared_ptr<const std::vector<std::uint8_t>> encode(const ProposeMsg& m) {
-  net::ByteWriter w(8 + m.ids.size() * 8);
+net::BufferRef encode_propose(NodeId sender, std::span<const EventId> ids) {
+  net::ByteWriter w(8 + ids.size() * 8);
   w.u8(static_cast<std::uint8_t>(MsgTag::kPropose));
-  w.u32(m.sender.value());
-  write_ids(w, m.ids);
-  return finish(std::move(w));
+  w.u32(sender.value());
+  write_ids(w, ids);
+  return w.finish();
 }
 
-std::shared_ptr<const std::vector<std::uint8_t>> encode(const RequestMsg& m) {
-  net::ByteWriter w(8 + m.ids.size() * 8);
+net::BufferRef encode_request(NodeId sender, std::span<const EventId> ids) {
+  net::ByteWriter w(8 + ids.size() * 8);
   w.u8(static_cast<std::uint8_t>(MsgTag::kRequest));
-  w.u32(m.sender.value());
-  write_ids(w, m.ids);
-  return finish(std::move(w));
+  w.u32(sender.value());
+  write_ids(w, ids);
+  return w.finish();
 }
 
-std::shared_ptr<const std::vector<std::uint8_t>> encode(const ServeMsg& m) {
-  net::ByteWriter w(16 + m.event.payload_size());
+net::BufferRef encode(const ProposeMsg& m) { return encode_propose(m.sender, m.ids); }
+
+net::BufferRef encode(const RequestMsg& m) { return encode_request(m.sender, m.ids); }
+
+std::size_t encoded_serve_size(const Event& event) {
+  // tag + sender + id + payload length varint + payload bytes.
+  const std::size_t n = event.payload_size();
+  std::size_t varint_len = 1;
+  for (std::uint64_t v = n; v >= 0x80; v >>= 7) ++varint_len;
+  return 1 + 4 + 8 + varint_len + n;
+}
+
+void encode_serve_into(net::ByteWriter& w, NodeId sender, const Event& event) {
   w.u8(static_cast<std::uint8_t>(MsgTag::kServe));
-  w.u32(m.sender.value());
-  w.u64(m.event.id.raw());
-  if (m.event.payload) {
-    w.bytes(*m.event.payload);
-  } else {
-    w.varint(0);
-  }
-  return finish(std::move(w));
+  w.u32(sender.value());
+  w.u64(event.id.raw());
+  w.bytes(event.payload.bytes());
 }
 
-std::shared_ptr<const std::vector<std::uint8_t>> encode(const AggregationMsg& m) {
+net::BufferRef encode(const ServeMsg& m) {
+  net::ByteWriter w(encoded_serve_size(m.event));
+  encode_serve_into(w, m.sender, m.event);
+  return w.finish();
+}
+
+net::BufferRef encode_serve_batch(NodeId sender, std::span<const Event> events,
+                                  std::vector<std::pair<std::uint32_t, std::uint32_t>>& spans) {
+  std::size_t total = 0;
+  for (const Event& e : events) total += encoded_serve_size(e);
+  net::ByteWriter w(total);
+  spans.clear();
+  for (const Event& e : events) {
+    const auto begin = static_cast<std::uint32_t>(w.size());
+    encode_serve_into(w, sender, e);
+    spans.emplace_back(begin, static_cast<std::uint32_t>(w.size()) - begin);
+  }
+  return w.finish();
+}
+
+net::BufferRef encode(const AggregationMsg& m) {
   net::ByteWriter w(8 + m.records.size() * 20);
   w.u8(static_cast<std::uint8_t>(MsgTag::kAggregation));
   w.u32(m.sender.value());
@@ -69,10 +91,10 @@ std::shared_ptr<const std::vector<std::uint8_t>> encode(const AggregationMsg& m)
     w.i64(rec.capability_bps);
     w.i64(rec.measured_at.as_us());
   }
-  return finish(std::move(w));
+  return w.finish();
 }
 
-std::optional<MsgTag> peek_tag(const std::vector<std::uint8_t>& buf) {
+std::optional<MsgTag> peek_tag(std::span<const std::uint8_t> buf) {
   if (buf.empty()) return std::nullopt;
   const std::uint8_t t = buf[0];
   if (t < static_cast<std::uint8_t>(MsgTag::kPropose) ||
@@ -83,6 +105,7 @@ std::optional<MsgTag> peek_tag(const std::vector<std::uint8_t>& buf) {
 }
 
 namespace {
+
 [[nodiscard]] bool read_header(net::ByteReader& r, MsgTag expected, NodeId& sender) {
   const auto tag = r.u8();
   if (!tag || *tag != static_cast<std::uint8_t>(expected)) return false;
@@ -91,9 +114,25 @@ namespace {
   sender = NodeId{*s};
   return true;
 }
+
+// Shared serve parse: on success, `payload` is the payload's span within
+// `buf` (the caller decides whether to slice or copy it out).
+[[nodiscard]] bool parse_serve(std::span<const std::uint8_t> buf, ServeMsg& m,
+                               std::span<const std::uint8_t>& payload) {
+  net::ByteReader r(buf);
+  if (!read_header(r, MsgTag::kServe, m.sender)) return false;
+  const auto raw = r.u64();
+  if (!raw) return false;
+  m.event.id = EventId::from_raw(*raw);
+  const auto p = r.bytes();
+  if (!p) return false;
+  payload = *p;
+  return true;
+}
+
 }  // namespace
 
-std::optional<ProposeMsg> decode_propose(const std::vector<std::uint8_t>& buf) {
+std::optional<ProposeMsg> decode_propose(std::span<const std::uint8_t> buf) {
   net::ByteReader r(buf);
   ProposeMsg m;
   if (!read_header(r, MsgTag::kPropose, m.sender)) return std::nullopt;
@@ -101,7 +140,7 @@ std::optional<ProposeMsg> decode_propose(const std::vector<std::uint8_t>& buf) {
   return m;
 }
 
-std::optional<RequestMsg> decode_request(const std::vector<std::uint8_t>& buf) {
+std::optional<RequestMsg> decode_request(std::span<const std::uint8_t> buf) {
   net::ByteReader r(buf);
   RequestMsg m;
   if (!read_header(r, MsgTag::kRequest, m.sender)) return std::nullopt;
@@ -109,21 +148,25 @@ std::optional<RequestMsg> decode_request(const std::vector<std::uint8_t>& buf) {
   return m;
 }
 
-std::optional<ServeMsg> decode_serve(const std::vector<std::uint8_t>& buf) {
-  net::ByteReader r(buf);
+std::optional<ServeMsg> decode_serve(const net::BufferRef& buf) {
   ServeMsg m;
-  if (!read_header(r, MsgTag::kServe, m.sender)) return std::nullopt;
-  const auto raw = r.u64();
-  if (!raw) return std::nullopt;
-  m.event.id = EventId::from_raw(*raw);
-  const auto payload = r.bytes();
-  if (!payload) return std::nullopt;
-  m.event.payload =
-      std::make_shared<const std::vector<std::uint8_t>>(payload->begin(), payload->end());
+  std::span<const std::uint8_t> payload;
+  if (!parse_serve(buf.bytes(), m, payload)) return std::nullopt;
+  // Zero copy: the payload keeps the arrival buffer alive via the slice.
+  m.event.payload = buf.slice(static_cast<std::size_t>(payload.data() - buf.data()),
+                              payload.size());
   return m;
 }
 
-std::optional<AggregationMsg> decode_aggregation(const std::vector<std::uint8_t>& buf) {
+std::optional<ServeMsg> decode_serve(std::span<const std::uint8_t> buf) {
+  ServeMsg m;
+  std::span<const std::uint8_t> payload;
+  if (!parse_serve(buf, m, payload)) return std::nullopt;
+  m.event.payload = net::BufferRef::copy_of(payload);
+  return m;
+}
+
+std::optional<AggregationMsg> decode_aggregation(std::span<const std::uint8_t> buf) {
   net::ByteReader r(buf);
   AggregationMsg m;
   if (!read_header(r, MsgTag::kAggregation, m.sender)) return std::nullopt;

@@ -6,11 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "net/buffer.hpp"
 #include "net/serde.hpp"
 #include "sim/time.hpp"
 
@@ -66,13 +68,15 @@ struct std::hash<hg::gossip::EventId> {
 
 namespace hg::gossip {
 
-// A disseminated event: id + payload. The payload buffer is shared —
-// fan-out to many peers and storage for later serves never copy it.
+// A disseminated event: id + payload. The payload is a refcounted pooled
+// slice — fan-out to many peers and storage for later serves never copy it,
+// and a payload decoded from a serve pins the arrival buffer instead of
+// copying out of it.
 struct Event {
   EventId id;
-  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  net::BufferRef payload;
 
-  [[nodiscard]] std::size_t payload_size() const { return payload ? payload->size() : 0; }
+  [[nodiscard]] std::size_t payload_size() const { return payload.size(); }
 };
 
 struct ProposeMsg {
@@ -85,8 +89,10 @@ struct RequestMsg {
   std::vector<EventId> ids;
 };
 
-// One event per serve datagram: stream packets are MTU-sized (1316 B), so a
-// multi-packet serve would not fit a UDP datagram anyway.
+// One event per serve *datagram*: stream packets are MTU-sized (1316 B), so
+// a multi-packet serve would not fit a UDP datagram anyway. All serves of
+// one request are still encoded back-to-back into a single pooled buffer
+// and sent as zero-copy slices of it (see ThreePhaseGossip::on_request).
 struct ServeMsg {
   NodeId sender;
   Event event;
@@ -105,19 +111,42 @@ struct AggregationMsg {
 };
 
 // --- encode / decode ---------------------------------------------------
-// Encoders return a shared buffer ready for NetworkFabric::send. Decoders
-// return nullopt on any truncation/corruption (treated as datagram loss).
+// Encoders write into a pooled buffer and return a zero-copy reference
+// ready for NetworkFabric::send. Decoders return nullopt on any
+// truncation/corruption (treated as datagram loss).
 
-[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const ProposeMsg& m);
-[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const RequestMsg& m);
-[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const ServeMsg& m);
-[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(const AggregationMsg& m);
+[[nodiscard]] net::BufferRef encode(const ProposeMsg& m);
+[[nodiscard]] net::BufferRef encode(const RequestMsg& m);
+[[nodiscard]] net::BufferRef encode(const ServeMsg& m);
+[[nodiscard]] net::BufferRef encode(const AggregationMsg& m);
 
-[[nodiscard]] std::optional<MsgTag> peek_tag(const std::vector<std::uint8_t>& buf);
-[[nodiscard]] std::optional<ProposeMsg> decode_propose(const std::vector<std::uint8_t>& buf);
-[[nodiscard]] std::optional<RequestMsg> decode_request(const std::vector<std::uint8_t>& buf);
-[[nodiscard]] std::optional<ServeMsg> decode_serve(const std::vector<std::uint8_t>& buf);
+// Hot-path forms: encode straight from scratch storage without constructing
+// a message struct (constructing ProposeMsg/RequestMsg would copy the id
+// vector — an allocation the steady-state wire path must not make).
+[[nodiscard]] net::BufferRef encode_propose(NodeId sender, std::span<const EventId> ids);
+[[nodiscard]] net::BufferRef encode_request(NodeId sender, std::span<const EventId> ids);
+
+// Exact wire size of one serve of `event`, and the batched-serve building
+// block: appends a complete, standalone ServeMsg encoding to `w`, so a
+// slice of the finished buffer is bit-identical to encode(ServeMsg{...}).
+[[nodiscard]] std::size_t encoded_serve_size(const Event& event);
+void encode_serve_into(net::ByteWriter& w, NodeId sender, const Event& event);
+
+// The batched serve: all of `events` encoded back-to-back into one pooled
+// buffer. `spans` (cleared first) receives each event's (offset, length);
+// every slice of the result at a span is a standalone serve datagram.
+[[nodiscard]] net::BufferRef encode_serve_batch(
+    NodeId sender, std::span<const Event> events,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& spans);
+
+[[nodiscard]] std::optional<MsgTag> peek_tag(std::span<const std::uint8_t> buf);
+[[nodiscard]] std::optional<ProposeMsg> decode_propose(std::span<const std::uint8_t> buf);
+[[nodiscard]] std::optional<RequestMsg> decode_request(std::span<const std::uint8_t> buf);
+// Zero-copy: the decoded payload is a slice pinning `buf`'s backing chunk.
+[[nodiscard]] std::optional<ServeMsg> decode_serve(const net::BufferRef& buf);
+// Copying overload for callers without a pooled buffer (tests, fuzzing).
+[[nodiscard]] std::optional<ServeMsg> decode_serve(std::span<const std::uint8_t> buf);
 [[nodiscard]] std::optional<AggregationMsg> decode_aggregation(
-    const std::vector<std::uint8_t>& buf);
+    std::span<const std::uint8_t> buf);
 
 }  // namespace hg::gossip

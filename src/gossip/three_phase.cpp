@@ -55,7 +55,7 @@ void ThreePhaseGossip::gossip_ids(const std::vector<EventId>& ids) {
   view_.select_nodes(fanout, targets_scratch_, rng_);
   if (targets_scratch_.empty()) return;
   // Encode once; the buffer is shared across all targets.
-  const auto bytes = encode(ProposeMsg{self_, ids});
+  const auto bytes = encode_propose(self_, ids);
   for (NodeId target : targets_scratch_) {
     fabric_.send(self_, target, net::MsgClass::kPropose, bytes);
     ++stats_.proposes_sent;
@@ -64,14 +64,14 @@ void ThreePhaseGossip::gossip_ids(const std::vector<EventId>& ids) {
 }
 
 void ThreePhaseGossip::on_datagram(const net::Datagram& d) {
-  const auto tag = peek_tag(*d.bytes);
+  const auto tag = peek_tag(d.bytes);
   if (!tag) {
     ++stats_.malformed;
     return;
   }
   switch (*tag) {
     case MsgTag::kPropose: {
-      if (auto m = decode_propose(*d.bytes)) {
+      if (auto m = decode_propose(d.bytes)) {
         on_propose(*m);
       } else {
         ++stats_.malformed;
@@ -79,7 +79,7 @@ void ThreePhaseGossip::on_datagram(const net::Datagram& d) {
       break;
     }
     case MsgTag::kRequest: {
-      if (auto m = decode_request(*d.bytes)) {
+      if (auto m = decode_request(d.bytes)) {
         on_request(*m);
       } else {
         ++stats_.malformed;
@@ -87,7 +87,8 @@ void ThreePhaseGossip::on_datagram(const net::Datagram& d) {
       break;
     }
     case MsgTag::kServe: {
-      if (auto m = decode_serve(*d.bytes)) {
+      // Zero copy: the decoded payload is a slice of the arrival buffer.
+      if (auto m = decode_serve(d.bytes)) {
         on_serve(*m);
       } else {
         ++stats_.malformed;
@@ -111,7 +112,8 @@ void ThreePhaseGossip::record_proposer(EventId id, NodeId proposer) {
 void ThreePhaseGossip::on_propose(const ProposeMsg& m) {
   // Phase 2 (Algorithm 1 lines 8-13): request everything new, immediately,
   // from the proposer.
-  std::vector<EventId> wanted;
+  std::vector<EventId>& wanted = wanted_scratch_;
+  wanted.clear();
   for (EventId id : m.ids) {
     if (delivered_.contains(id)) continue;
     if (cancelled_windows_.contains(id.window())) continue;
@@ -125,7 +127,7 @@ void ThreePhaseGossip::on_propose(const ProposeMsg& m) {
     wanted.push_back(id);
   }
   if (wanted.empty()) return;
-  fabric_.send(self_, m.sender, net::MsgClass::kRequest, encode(RequestMsg{self_, wanted}));
+  fabric_.send(self_, m.sender, net::MsgClass::kRequest, encode_request(self_, wanted));
   ++stats_.requests_sent;
   for (EventId id : wanted) {
     proposers_[id].last_requested = m.sender;
@@ -134,17 +136,31 @@ void ThreePhaseGossip::on_propose(const ProposeMsg& m) {
 }
 
 void ThreePhaseGossip::on_request(const RequestMsg& m) {
-  // Phase 3 (lines 14-17): serve what we have, one datagram per event so
-  // each serve fits a UDP datagram.
+  // Phase 3 (lines 14-17): serve what we have. Each event stays its own
+  // datagram (stream packets are MTU-sized; per-datagram loss, latency, and
+  // wire accounting are untouched), but all serves answering this request
+  // are encoded back-to-back into ONE pooled buffer and sent as zero-copy
+  // slices of it — one allocation per request instead of one per event.
+  serve_events_scratch_.clear();
   for (EventId id : m.ids) {
-    auto it = delivered_.find(id);
+    const auto it = delivered_.find(id);
     if (it == delivered_.end()) {
       ++stats_.unknown_requests;
       continue;
     }
-    fabric_.send(self_, m.sender, net::MsgClass::kServe, encode(ServeMsg{self_, it->second}));
+    serve_events_scratch_.push_back(it->second);  // refcounted payload, no byte copy
+  }
+  if (serve_events_scratch_.empty()) return;
+  const net::BufferRef batch =
+      encode_serve_batch(self_, serve_events_scratch_, serve_spans_scratch_);
+  for (const auto& [off, len] : serve_spans_scratch_) {
+    fabric_.send(self_, m.sender, net::MsgClass::kServe, batch.slice(off, len));
     ++stats_.serves_sent;
   }
+  if (serve_events_scratch_.size() > 1) ++stats_.serve_batches;
+  // Drop the payload refs now (keeping capacity): holding them would pin
+  // the chunks past window GC until the next request arrives.
+  serve_events_scratch_.clear();
 }
 
 void ThreePhaseGossip::on_serve(const ServeMsg& m) {
@@ -196,7 +212,8 @@ void ThreePhaseGossip::on_retransmit_fire(EventId id, int retry_count) {
     return;
   }
   list.last_requested = target;
-  fabric_.send(self_, target, net::MsgClass::kRequest, encode(RequestMsg{self_, {id}}));
+  const EventId one[] = {id};
+  fabric_.send(self_, target, net::MsgClass::kRequest, encode_request(self_, one));
   ++stats_.requests_sent;
   retransmit_.arm(id, retry_count);
 }

@@ -6,7 +6,9 @@
 //          fanout-many uniformly random peers.
 // Phase 2: a peer receiving a [Propose] immediately [Request]s the ids it
 //          has not requested yet from the proposer.
-// Phase 3: the proposer [Serve]s the payloads; one datagram per event.
+// Phase 3: the proposer [Serve]s the payloads; one datagram per event, but
+//          all serves answering one request are encoded into a single
+//          pooled buffer and sent as zero-copy slices of it.
 //
 // The fanout comes from a FanoutPolicy: a constant for standard gossip, the
 // capability-proportional rule for HEAP — this single indirection is the
@@ -73,7 +75,8 @@ class ThreePhaseGossip {
     std::uint64_t proposes_sent = 0;       // datagrams
     std::uint64_t ids_proposed = 0;        // id entries across proposes
     std::uint64_t requests_sent = 0;
-    std::uint64_t serves_sent = 0;
+    std::uint64_t serves_sent = 0;         // per-event serve datagrams
+    std::uint64_t serve_batches = 0;       // multi-event serve rounds sharing one buffer
     std::uint64_t events_delivered = 0;
     std::uint64_t duplicate_serves = 0;
     std::uint64_t declined_requests = 0;   // vetoed by should_request
@@ -128,6 +131,11 @@ class ThreePhaseGossip {
   std::uint32_t newest_window_seen_ = 0;
   std::uint32_t gc_done_below_ = 0;
   std::vector<NodeId> targets_scratch_;
+  // Reused per round so the steady-state wire path performs no heap
+  // allocations (the pooled buffers carry the bytes; these carry indices).
+  std::vector<EventId> wanted_scratch_;
+  std::vector<Event> serve_events_scratch_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> serve_spans_scratch_;
   Stats stats_;
 };
 

@@ -38,9 +38,8 @@ void CyclonNode::start() {
 
 void CyclonNode::stop() { timer_.cancel(); }
 
-std::shared_ptr<const std::vector<std::uint8_t>> CyclonNode::encode(
-    bool is_reply, const std::vector<Entry>& entries) const {
-  net::ByteWriter w(4 + entries.size() * 6);
+net::BufferRef CyclonNode::encode(bool is_reply, const std::vector<Entry>& entries) const {
+  net::ByteWriter w(8 + entries.size() * 6);
   w.u8(is_reply ? kShuffleReply : kShuffleRequest);
   w.u32(self_.value());
   w.varint(entries.size());
@@ -48,7 +47,7 @@ std::shared_ptr<const std::vector<std::uint8_t>> CyclonNode::encode(
     w.u32(e.id.value());
     w.u16(e.age);
   }
-  return std::make_shared<const std::vector<std::uint8_t>>(w.take());
+  return w.finish();
 }
 
 void CyclonNode::shuffle_round() {
@@ -77,7 +76,7 @@ void CyclonNode::shuffle_round() {
 }
 
 void CyclonNode::on_datagram(const net::Datagram& d) {
-  net::ByteReader r(*d.bytes);
+  net::ByteReader r(d.bytes);
   const auto tag = r.u8();
   const auto from_raw = r.u32();
   if (!tag || !from_raw) return;  // malformed: drop

@@ -53,8 +53,8 @@ class CyclonNode {
 
   void shuffle_round();
   void merge(const std::vector<Entry>& incoming, const std::vector<NodeId>& sent);
-  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> encode(
-      bool is_reply, const std::vector<Entry>& entries) const;
+  [[nodiscard]] net::BufferRef encode(bool is_reply,
+                                      const std::vector<Entry>& entries) const;
 
   sim::Simulator& sim_;
   net::NetworkFabric& fabric_;

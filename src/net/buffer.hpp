@@ -1,0 +1,187 @@
+// Reference-counted, pooled wire buffers — the allocation substrate of the
+// message path.
+//
+// Every encoded datagram lives in a chunk drawn from a thread-local
+// BufferPool: size-class slabs (header + payload in one allocation) recycled
+// through per-class free lists, so the steady-state send→deliver path never
+// touches the heap. A BufferRef is a cheap (pointer, offset, length) slice
+// with a non-atomic refcount — fan-out to many peers, batched serves, and
+// payload storage all share the same bytes without copying or hashing.
+//
+// Threading model: simulations are single-threaded per replica (SweepRunner
+// runs one Simulator per worker thread), so refcounts are plain integers.
+// A chunk released on a thread other than its allocator (e.g. a finished
+// Experiment destroyed on the main thread) is freed directly instead of
+// being pushed onto a foreign free list; the owner pool pointer is only ever
+// compared against the releasing thread's own pool, never dereferenced.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hg::net {
+
+class BufferPool;
+
+namespace detail {
+
+// Chunk header; the payload bytes follow immediately after.
+struct BufferCtl {
+  BufferPool* owner;       // allocating thread's pool (identity check only)
+  BufferCtl* next_free;    // intrusive free-list link while pooled
+  std::uint32_t refs;
+  std::uint32_t capacity;  // payload capacity in bytes
+  std::uint32_t size;      // payload bytes written
+  std::uint8_t size_class; // index into the pool's class table; 0xff = unpooled
+
+  [[nodiscard]] std::uint8_t* data() {
+    return reinterpret_cast<std::uint8_t*>(this) + sizeof(BufferCtl);
+  }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this) + sizeof(BufferCtl);
+  }
+};
+
+}  // namespace detail
+
+class BufferPool {
+ public:
+  // Size classes are powers of two from 64 B (headers, small control
+  // messages) to 256 KiB (large serve batches); bigger requests fall back to
+  // a one-off unpooled allocation.
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kMaxClassBytes = 256 * 1024;
+  static constexpr std::uint8_t kUnpooledClass = 0xff;
+
+  struct Stats {
+    std::uint64_t chunk_allocs = 0;   // chunks obtained from the heap
+    std::uint64_t pool_hits = 0;      // chunks recycled from a free list
+    std::uint64_t pool_returns = 0;   // chunks pushed back onto a free list
+    std::uint64_t foreign_frees = 0;  // released off-thread: freed, not pooled
+    std::uint64_t oversized = 0;      // requests beyond kMaxClassBytes
+  };
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  // The calling thread's pool. All implicit allocations (ByteWriter,
+  // BufferRef::copy_of) draw from here.
+  [[nodiscard]] static BufferPool& local();
+
+  // A chunk with capacity >= n, refs == 1, size == 0.
+  [[nodiscard]] detail::BufferCtl* acquire(std::size_t n);
+
+  // Called when a chunk's refcount hits zero (from any thread).
+  static void recycle(detail::BufferCtl* ctl);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kClasses = 13;  // 64 << 12 == 256 KiB
+
+  [[nodiscard]] static std::uint8_t class_for(std::size_t n);
+  [[nodiscard]] static std::size_t class_bytes(std::uint8_t cls) {
+    return kMinClassBytes << cls;
+  }
+
+  detail::BufferCtl* free_lists_[kClasses] = {};
+  Stats stats_;
+};
+
+// A shared, immutable view of [offset, offset + length) within a pooled
+// chunk. Copies bump the refcount; slices share the backing chunk, so a
+// payload sliced out of a received datagram keeps the whole datagram buffer
+// alive until the last reference drops.
+class BufferRef {
+ public:
+  BufferRef() = default;
+
+  BufferRef(const BufferRef& o) : ctl_(o.ctl_), off_(o.off_), len_(o.len_) {
+    if (ctl_ != nullptr) ++ctl_->refs;
+  }
+  BufferRef(BufferRef&& o) noexcept : ctl_(o.ctl_), off_(o.off_), len_(o.len_) {
+    o.ctl_ = nullptr;
+    o.off_ = 0;
+    o.len_ = 0;
+  }
+  BufferRef& operator=(const BufferRef& o) {
+    if (this != &o) {
+      reset();
+      ctl_ = o.ctl_;
+      off_ = o.off_;
+      len_ = o.len_;
+      if (ctl_ != nullptr) ++ctl_->refs;
+    }
+    return *this;
+  }
+  BufferRef& operator=(BufferRef&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ctl_ = o.ctl_;
+      off_ = o.off_;
+      len_ = o.len_;
+      o.ctl_ = nullptr;
+      o.off_ = 0;
+      o.len_ = 0;
+    }
+    return *this;
+  }
+  ~BufferRef() { reset(); }
+
+  void reset() {
+    if (ctl_ != nullptr && --ctl_->refs == 0) BufferPool::recycle(ctl_);
+    ctl_ = nullptr;
+    off_ = 0;
+    len_ = 0;
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ctl_ != nullptr; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return ctl_ != nullptr ? ctl_->data() + off_ : nullptr;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {data(), static_cast<std::size_t>(len_)};
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): a BufferRef *is* a byte view
+  operator std::span<const std::uint8_t>() const { return bytes(); }
+
+  // A sub-view sharing (and pinning) the same backing chunk.
+  [[nodiscard]] BufferRef slice(std::size_t off, std::size_t len) const {
+    HG_ASSERT(off + len <= len_);
+    if (ctl_ != nullptr) ++ctl_->refs;
+    return BufferRef(ctl_, off_ + static_cast<std::uint32_t>(off),
+                     static_cast<std::uint32_t>(len));
+  }
+
+  // Number of owners of the backing chunk (introspection/tests).
+  [[nodiscard]] std::uint32_t ref_count() const { return ctl_ != nullptr ? ctl_->refs : 0; }
+
+  // Pooled copy of arbitrary bytes (cold paths, tests).
+  [[nodiscard]] static BufferRef copy_of(std::span<const std::uint8_t> src);
+
+  [[nodiscard]] std::vector<std::uint8_t> to_vector() const {
+    return {data(), data() + size()};
+  }
+
+ private:
+  friend class ByteWriter;
+
+  // Adopts an existing reference (no refcount bump).
+  BufferRef(detail::BufferCtl* ctl, std::uint32_t off, std::uint32_t len)
+      : ctl_(ctl), off_(off), len_(len) {}
+
+  detail::BufferCtl* ctl_ = nullptr;
+  std::uint32_t off_ = 0;
+  std::uint32_t len_ = 0;
+};
+
+}  // namespace hg::net

@@ -2,10 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "common/types.hpp"
+#include "net/buffer.hpp"
 
 namespace hg::net {
 
@@ -32,12 +31,13 @@ struct Datagram {
   NodeId src;
   NodeId dst;
   MsgClass cls = MsgClass::kOther;
-  // Encoded message (header + body). Shared so a propose fanned out to f
-  // targets is encoded once.
-  std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  // Encoded message (header + body). A pooled, refcounted slice: a propose
+  // fanned out to f targets is encoded once, and a batched serve round
+  // shares one buffer across all of its per-event datagrams.
+  BufferRef bytes;
 
   [[nodiscard]] std::int64_t wire_bytes() const {
-    return static_cast<std::int64_t>(bytes ? bytes->size() : 0) + kUdpIpOverheadBytes;
+    return static_cast<std::int64_t>(bytes.size()) + kUdpIpOverheadBytes;
   }
 };
 

@@ -16,7 +16,8 @@ NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyM
 }
 
 void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive) {
-  HG_ASSERT_MSG(id.value() == entries_.size(), "register nodes with consecutive ids from 0");
+  HG_ASSERT_MSG(id.value() == entries_.size(),
+                "register nodes with consecutive ids from 0 (entry() indexes by id)");
   Entry e;
   e.receive = std::move(receive);
   e.link = std::make_unique<UploadLink>(sim_, upload_capacity, config_.discipline,
@@ -24,9 +25,8 @@ void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn 
   entries_.push_back(std::move(e));
 }
 
-void NetworkFabric::send(NodeId src, NodeId dst, MsgClass cls,
-                         std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
-  HG_ASSERT(bytes != nullptr);
+void NetworkFabric::send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes) {
+  HG_ASSERT_MSG(static_cast<bool>(bytes), "send requires an encoded message");
   Entry& s = entry(src);
   if (!s.alive) return;
   HG_ASSERT_MSG(src != dst, "self-sends indicate a peer-selection bug");

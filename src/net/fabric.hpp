@@ -34,12 +34,12 @@ class NetworkFabric {
   NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
                 std::unique_ptr<LossModel> loss, FabricConfig config = {});
 
-  // Nodes must be registered with consecutive ids starting at 0.
+  // Nodes must be registered with consecutive ids starting at 0. The
+  // contract is enforced: registering out of order aborts.
   void register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive);
 
   // Sends `bytes` (already-encoded message) from src to dst.
-  void send(NodeId src, NodeId dst, MsgClass cls,
-            std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+  void send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes);
 
   // Crash-stop: the node neither sends nor receives from now on.
   void kill(NodeId id);

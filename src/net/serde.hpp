@@ -4,6 +4,10 @@
 // fabric, so message sizes — the quantity that drives all bandwidth effects
 // in the paper — are measured, never estimated. Integers are little-endian
 // fixed width; sequences are length-prefixed with a varint.
+//
+// ByteWriter encodes directly into a chunk from the thread-local BufferPool
+// and hands the result off as a zero-copy BufferRef (finish()); the vector
+// accessors (take/view) exist for tests and cold paths.
 #pragma once
 
 #include <cstdint>
@@ -14,15 +18,26 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "net/buffer.hpp"
 
 namespace hg::net {
 
 class ByteWriter {
  public:
-  ByteWriter() = default;
-  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  // Always draws from the calling thread's pool — chunks recycle through
+  // BufferPool::local() on release, so that is the only pool that can ever
+  // get them back.
+  explicit ByteWriter(std::size_t reserve = 64)
+      : ctl_(BufferPool::local().acquire(reserve < 1 ? 1 : reserve)) {}
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  ~ByteWriter() {
+    if (ctl_ != nullptr && --ctl_->refs == 0) BufferPool::recycle(ctl_);
+  }
+
+  void u8(std::uint8_t v) { append(&v, sizeof v); }
   void u16(std::uint16_t v) { append(&v, sizeof v); }
   void u32(std::uint32_t v) { append(&v, sizeof v); }
   void u64(std::uint64_t v) { append(&v, sizeof v); }
@@ -31,38 +46,75 @@ class ByteWriter {
 
   // LEB128-style unsigned varint (1 byte for values < 128).
   void varint(std::uint64_t v) {
+    std::uint8_t tmp[10];
+    std::size_t n = 0;
     while (v >= 0x80) {
-      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      tmp[n++] = static_cast<std::uint8_t>(v) | 0x80;
       v >>= 7;
     }
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    tmp[n++] = static_cast<std::uint8_t>(v);
+    append(tmp, n);
   }
 
   void bytes(std::span<const std::uint8_t> data) {
     varint(data.size());
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    append(data.data(), data.size());
   }
 
   void str(const std::string& s) {
     varint(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    append(s.data(), s.size());
   }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
-  [[nodiscard]] const std::vector<std::uint8_t>& view() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  // Hands the encoded bytes off as a zero-copy pooled reference. The writer
+  // must not be written to afterwards.
+  [[nodiscard]] BufferRef finish() {
+    HG_ASSERT(ctl_ != nullptr);
+    ctl_->size = size_;
+    BufferRef out(ctl_, 0, size_);  // adopts the writer's reference
+    ctl_ = nullptr;
+    return out;
+  }
+
+  // Copying accessors for tests and cold paths.
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    HG_ASSERT(ctl_ != nullptr);
+    return {ctl_->data(), ctl_->data() + size_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> view() const {
+    HG_ASSERT(ctl_ != nullptr);
+    return {ctl_->data(), static_cast<std::size_t>(size_)};
+  }
 
  private:
   void append(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    HG_ASSERT(ctl_ != nullptr);  // finish() ends the writer's lifetime
+    if (n == 0) return;          // empty spans may carry a null pointer
+    if (size_ + n > ctl_->capacity) grow(size_ + n);
+    std::memcpy(ctl_->data() + size_, p, n);
+    size_ += static_cast<std::uint32_t>(n);
   }
-  std::vector<std::uint8_t> buf_;
+
+  void grow(std::size_t needed) {
+    detail::BufferCtl* bigger =
+        BufferPool::local().acquire(needed > 2 * std::size_t{ctl_->capacity}
+                                        ? needed
+                                        : 2 * std::size_t{ctl_->capacity});
+    std::memcpy(bigger->data(), ctl_->data(), size_);
+    if (--ctl_->refs == 0) BufferPool::recycle(ctl_);
+    ctl_ = bigger;
+  }
+
+  detail::BufferCtl* ctl_;
+  std::uint32_t size_ = 0;
 };
 
 // Non-owning reader over a received buffer. All accessors return
-// std::nullopt on truncation instead of reading out of bounds; protocol
-// handlers treat a malformed datagram as a drop (as a UDP stack would).
+// std::nullopt on truncation or corruption instead of reading out of
+// bounds; protocol handlers treat a malformed datagram as a drop (as a UDP
+// stack would).
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -74,21 +126,28 @@ class ByteReader {
   [[nodiscard]] std::optional<std::int64_t> i64() { return fixed<std::int64_t>(); }
   [[nodiscard]] std::optional<double> f64() { return fixed<double>(); }
 
+  // Rejects non-terminating varints, encodings longer than 10 bytes, and
+  // 10-byte encodings whose final byte would overflow 64 bits — a malformed
+  // prefix can neither wrap silently nor walk past the buffer.
   [[nodiscard]] std::optional<std::uint64_t> varint() {
     std::uint64_t v = 0;
     int shift = 0;
-    while (pos_ < data_.size() && shift <= 63) {
+    while (pos_ < data_.size()) {
       const std::uint8_t b = data_[pos_++];
+      if (shift == 63 && (b & 0xfe) != 0) return std::nullopt;  // > 64 bits
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if ((b & 0x80) == 0) return v;
       shift += 7;
+      if (shift > 63) return std::nullopt;  // > 10 bytes
     }
-    return std::nullopt;
+    return std::nullopt;  // truncated
   }
 
   [[nodiscard]] std::optional<std::span<const std::uint8_t>> bytes() {
-    auto n = varint();
-    if (!n || pos_ + *n > data_.size()) return std::nullopt;
+    const auto n = varint();
+    // Compare against remaining() — an oversized length claim must fail the
+    // check rather than overflow pos_ + *n.
+    if (!n || *n > remaining()) return std::nullopt;
     auto out = data_.subspan(pos_, *n);
     pos_ += *n;
     return out;
@@ -106,7 +165,7 @@ class ByteReader {
  private:
   template <typename T>
   [[nodiscard]] std::optional<T> fixed() {
-    if (pos_ + sizeof(T) > data_.size()) return std::nullopt;
+    if (sizeof(T) > remaining()) return std::nullopt;
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);

@@ -12,6 +12,10 @@
 // default: the paper's observed failure mode for standard gossip is
 // *unbounded queue growth at poor nodes* ("congested queues ... increases
 // the transmission delays"), which an artificial cap would mask.
+//
+// Queued datagrams carry pooled BufferRef slices, so a deep queue of
+// batched serves holds refcounts into a handful of shared chunks rather
+// than one heap vector per datagram.
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,13 @@
 // always lands in slot i, regardless of which worker finished first, so a
 // parallel sweep is bitwise-identical to running the same configs
 // sequentially.
+//
+// Wire buffers (net::BufferPool) are thread-local, matching this
+// one-replica-per-thread model: a replica's entire message traffic recycles
+// through its worker's pool with non-atomic refcounts. Experiments returned
+// to (and destroyed on) the caller's thread still hold delivered payloads;
+// those chunks are heap-freed on release rather than pooled — safe even
+// after the worker thread has exited, and off the hot path by definition.
 #pragma once
 
 #include <cstddef>

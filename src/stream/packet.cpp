@@ -4,19 +4,22 @@
 
 namespace hg::stream {
 
-std::shared_ptr<const std::vector<std::uint8_t>> synth_payload(std::uint32_t window,
-                                                               std::uint16_t index,
-                                                               std::size_t bytes) {
-  auto buf = std::make_shared<std::vector<std::uint8_t>>(bytes);
+std::vector<std::uint8_t> synth_payload_bytes(std::uint32_t window, std::uint16_t index,
+                                              std::size_t bytes) {
+  std::vector<std::uint8_t> buf(bytes);
   std::uint64_t state = (static_cast<std::uint64_t>(window) << 16) | index;
   std::size_t i = 0;
   while (i < bytes) {
     const std::uint64_t word = splitmix64(state);
     for (int b = 0; b < 8 && i < bytes; ++b, ++i) {
-      (*buf)[i] = static_cast<std::uint8_t>(word >> (b * 8));
+      buf[i] = static_cast<std::uint8_t>(word >> (b * 8));
     }
   }
   return buf;
+}
+
+net::BufferRef synth_payload(std::uint32_t window, std::uint16_t index, std::size_t bytes) {
+  return net::BufferRef::copy_of(synth_payload_bytes(window, index, bytes));
 }
 
 }  // namespace hg::stream

@@ -9,10 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "gossip/messages.hpp"
+#include "net/buffer.hpp"
 
 namespace hg::stream {
 
@@ -52,8 +51,12 @@ struct StreamConfig {
 
 // Deterministic pseudo-random data payload for (window, index): the decoder
 // side can verify reconstructed windows byte-for-byte without shipping a
-// reference stream around.
-[[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>> synth_payload(
-    std::uint32_t window, std::uint16_t index, std::size_t bytes);
+// reference stream around. The vector form feeds the FEC codec; the
+// BufferRef form is the same bytes as a pooled wire buffer.
+[[nodiscard]] std::vector<std::uint8_t> synth_payload_bytes(std::uint32_t window,
+                                                            std::uint16_t index,
+                                                            std::size_t bytes);
+[[nodiscard]] net::BufferRef synth_payload(std::uint32_t window, std::uint16_t index,
+                                           std::size_t bytes);
 
 }  // namespace hg::stream

@@ -13,8 +13,8 @@ StreamSource::StreamSource(sim::Simulator& simulator, StreamConfig config, Publi
                                .parity_per_window = config_.parity_per_window,
                                .packet_bytes = config_.packet_bytes});
   } else {
-    zero_payload_ =
-        std::make_shared<const std::vector<std::uint8_t>>(config_.packet_bytes, 0);
+    const std::vector<std::uint8_t> zeros(config_.packet_bytes, 0);
+    zero_payload_ = net::BufferRef::copy_of(zeros);
   }
 }
 
@@ -49,19 +49,20 @@ void StreamSource::emit_next() {
   const std::uint16_t i = next_index_;
   const gossip::EventId id = packet_id(w, i);
 
-  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  net::BufferRef payload;
   if (!config_.real_payloads) {
     payload = zero_payload_;
   } else if (i < config_.data_per_window) {
-    auto data = synth_payload(w, i, config_.packet_bytes);
-    window_data_.push_back(*data);  // keep a copy for parity encoding
-    payload = std::move(data);
+    // Synthesize once into the codec's working copy, then copy once into
+    // the pooled wire buffer (pooled chunks co-locate their header with the
+    // bytes, so a foreign vector cannot be adopted without a copy).
+    window_data_.push_back(synth_payload_bytes(w, i, config_.packet_bytes));
+    payload = net::BufferRef::copy_of(window_data_.back());
     if (window_data_.size() == config_.data_per_window) {
       auto parity = codec_->encode_window(window_data_);
       window_parity_.clear();
       for (auto& p : parity) {
-        window_parity_.push_back(
-            std::make_shared<const std::vector<std::uint8_t>>(std::move(p)));
+        window_parity_.push_back(net::BufferRef::copy_of(p));
       }
       window_data_.clear();
     }

@@ -44,7 +44,7 @@ class StreamSource {
   StreamConfig config_;
   PublishFn publish_;
   std::unique_ptr<fec::WindowCodec> codec_;  // only in real-payload mode
-  std::shared_ptr<const std::vector<std::uint8_t>> zero_payload_;  // sized mode
+  net::BufferRef zero_payload_;              // sized mode: one buffer, shared by refcount
 
   sim::SimTime t0_;  // publication time of packet (0,0)
   std::uint32_t windows_total_ = 0;
@@ -54,7 +54,7 @@ class StreamSource {
   bool stopped_ = false;
   // Real mode: data packets of the in-progress window, for parity encoding.
   std::vector<std::vector<std::uint8_t>> window_data_;
-  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> window_parity_;
+  std::vector<net::BufferRef> window_parity_;
 };
 
 }  // namespace hg::stream

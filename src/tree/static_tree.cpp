@@ -41,24 +41,21 @@ void StaticTree::publish(const gossip::Event& event) {
 }
 
 void StaticTree::forward(NodeId from, const gossip::Event& event) {
-  // Same wire format as a gossip serve, tagged kTreePush.
+  // Same wire format as a gossip serve, tagged kTreePush. Encoded once into
+  // a pooled buffer shared across all children.
   net::ByteWriter w(16 + event.payload_size());
   w.u8(static_cast<std::uint8_t>(gossip::MsgTag::kTreePush));
   w.u32(from.value());
   w.u64(event.id.raw());
-  if (event.payload) {
-    w.bytes(*event.payload);
-  } else {
-    w.varint(0);
-  }
-  const auto bytes = std::make_shared<const std::vector<std::uint8_t>>(w.take());
+  w.bytes(event.payload.bytes());
+  const net::BufferRef bytes = w.finish();
   for (NodeId child : children_of(from)) {
     fabric_.send(from, child, net::MsgClass::kTree, bytes);
   }
 }
 
 void StaticTree::on_datagram(NodeId node, const net::Datagram& d) {
-  net::ByteReader r(*d.bytes);
+  net::ByteReader r(d.bytes);
   const auto tag = r.u8();
   if (!tag || *tag != static_cast<std::uint8_t>(gossip::MsgTag::kTreePush)) return;
   const auto from = r.u32();
@@ -68,8 +65,9 @@ void StaticTree::on_datagram(NodeId node, const net::Datagram& d) {
   if (!payload) return;
   gossip::Event event;
   event.id = gossip::EventId::from_raw(*raw);
-  event.payload =
-      std::make_shared<const std::vector<std::uint8_t>>(payload->begin(), payload->end());
+  // Zero copy: pin the arrival buffer instead of copying the payload out.
+  event.payload = d.bytes.slice(static_cast<std::size_t>(payload->data() - d.bytes.data()),
+                                payload->size());
   deliver_(node, event);
   forward(node, event);
 }

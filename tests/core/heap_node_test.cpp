@@ -49,7 +49,8 @@ TEST(HeapNode, HeapModeRunsAggregation) {
 TEST(HeapNode, DispatchRoutesGossipAndAggregation) {
   NodePair p(5, Mode::kHeap);
   p.nodes[0]->publish(gossip::Event{
-      gossip::EventId{0, 0}, std::make_shared<const std::vector<std::uint8_t>>(64, 1)});
+      gossip::EventId{0, 0},
+      net::BufferRef::copy_of(std::vector<std::uint8_t>(64, 1))});
   p.sim.run_until(sim::SimTime::sec(5));
   // Gossip events delivered everywhere AND aggregation records exchanged,
   // all over the single per-node datagram callback.
@@ -61,8 +62,7 @@ TEST(HeapNode, DispatchRoutesGossipAndAggregation) {
 
 TEST(HeapNode, MalformedDatagramIsIgnored) {
   NodePair p(2, Mode::kHeap);
-  auto junk = std::make_shared<const std::vector<std::uint8_t>>(
-      std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef});
+  auto junk = net::BufferRef::copy_of(std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef});
   p.fabric.send(NodeId{0}, NodeId{1}, net::MsgClass::kOther, junk);
   p.sim.run_until(sim::SimTime::sec(1));  // must not crash
   EXPECT_EQ(p.nodes[1]->gossip().stats().events_delivered, 0u);

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+
 namespace hg::gossip {
 namespace {
+
+net::BufferRef make_payload(std::size_t n, std::uint8_t fill) {
+  return net::BufferRef::copy_of(std::vector<std::uint8_t>(n, fill));
+}
 
 TEST(EventId, PackUnpack) {
   const EventId id{12345, 109};
@@ -20,8 +26,8 @@ TEST(EventId, Ordering) {
 TEST(Messages, ProposeRoundTrip) {
   ProposeMsg m{NodeId{42}, {EventId{1, 0}, EventId{1, 1}, EventId{2, 108}}};
   auto buf = encode(m);
-  EXPECT_EQ(peek_tag(*buf), MsgTag::kPropose);
-  auto out = decode_propose(*buf);
+  EXPECT_EQ(peek_tag(buf), MsgTag::kPropose);
+  auto out = decode_propose(buf);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->sender, NodeId{42});
   EXPECT_EQ(out->ids, m.ids);
@@ -32,42 +38,75 @@ TEST(Messages, ProposeSizeMatchesPaperArithmetic) {
   std::vector<EventId> ids;
   for (std::uint16_t i = 0; i < 11; ++i) ids.emplace_back(3, i);
   auto buf = encode(ProposeMsg{NodeId{1}, ids});
-  EXPECT_EQ(buf->size(), 1u + 4u + 1u + 11u * 8u);
+  EXPECT_EQ(buf.size(), 1u + 4u + 1u + 11u * 8u);
 }
 
 TEST(Messages, RequestRoundTrip) {
   RequestMsg m{NodeId{7}, {EventId{9, 3}}};
-  auto out = decode_request(*encode(m));
+  auto out = decode_request(encode(m));
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->sender, NodeId{7});
   EXPECT_EQ(out->ids, m.ids);
 }
 
 TEST(Messages, ServeRoundTripWithPayload) {
-  auto payload = std::make_shared<const std::vector<std::uint8_t>>(1316, 0x5a);
+  auto payload = make_payload(1316, 0x5a);
   ServeMsg m{NodeId{3}, Event{EventId{4, 77}, payload}};
   auto buf = encode(m);
-  EXPECT_GT(buf->size(), 1316u);
-  auto out = decode_serve(*buf);
+  EXPECT_GT(buf.size(), 1316u);
+  auto out = decode_serve(buf);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->sender, NodeId{3});
   EXPECT_EQ(out->event.id, (EventId{4, 77}));
   ASSERT_TRUE(out->event.payload);
-  EXPECT_EQ(*out->event.payload, *payload);
+  EXPECT_EQ(out->event.payload.to_vector(), payload.to_vector());
+}
+
+TEST(Messages, DecodeServeFromBufferIsZeroCopy) {
+  auto buf = encode(ServeMsg{NodeId{3}, Event{EventId{4, 77}, make_payload(256, 0x5a)}});
+  auto out = decode_serve(buf);
+  ASSERT_TRUE(out.has_value());
+  // The payload points into the encoded buffer itself and pins it.
+  EXPECT_GE(out->event.payload.data(), buf.data());
+  EXPECT_LT(out->event.payload.data(), buf.data() + buf.size());
+  EXPECT_EQ(buf.ref_count(), 2u);
 }
 
 TEST(Messages, ServeRoundTripEmptyPayload) {
-  ServeMsg m{NodeId{3}, Event{EventId{4, 77}, nullptr}};
-  auto out = decode_serve(*encode(m));
+  ServeMsg m{NodeId{3}, Event{EventId{4, 77}, net::BufferRef{}}};
+  auto out = decode_serve(encode(m));
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->event.payload_size(), 0u);
+}
+
+TEST(Messages, BatchedServeSlicesMatchIndividualEncodes) {
+  // The serve batch path writes N standalone ServeMsg encodings into one
+  // buffer; each slice must be bit-identical to a solo encode(ServeMsg).
+  std::vector<Event> events;
+  for (std::uint16_t k = 0; k < 5; ++k) {
+    events.push_back(Event{EventId{7, k}, make_payload(100 + k * 40u, 0x21 + k)});
+  }
+  for (const Event& e : events) {
+    EXPECT_EQ(encoded_serve_size(e), encode(ServeMsg{NodeId{9}, e}).size());
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  const net::BufferRef batch = encode_serve_batch(NodeId{9}, events, spans);
+  ASSERT_EQ(spans.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const net::BufferRef slice = batch.slice(spans[i].first, spans[i].second);
+    EXPECT_EQ(slice.to_vector(), encode(ServeMsg{NodeId{9}, events[i]}).to_vector());
+    auto out = decode_serve(slice);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->event.id, events[i].id);
+    EXPECT_EQ(out->event.payload.to_vector(), events[i].payload.to_vector());
+  }
 }
 
 TEST(Messages, AggregationRoundTrip) {
   AggregationMsg m{NodeId{9},
                    {{NodeId{1}, 512'000, sim::SimTime::ms(100)},
                     {NodeId{2}, 3'072'000, sim::SimTime::ms(250)}}};
-  auto out = decode_aggregation(*encode(m));
+  auto out = decode_aggregation(encode(m));
   ASSERT_TRUE(out.has_value());
   ASSERT_EQ(out->records.size(), 2u);
   EXPECT_EQ(out->records[0].origin, NodeId{1});
@@ -80,25 +119,25 @@ TEST(Messages, AggregationCostMatchesPaperClaim) {
   // around 1 KB/s": 10 records * 20 B + header ~= 206 B, * 5/s ~= 1 KB/s.
   std::vector<CapabilityRecord> records(10, {NodeId{1}, 1'000'000, sim::SimTime::ms(1)});
   auto buf = encode(AggregationMsg{NodeId{0}, records});
-  const double per_sec = (static_cast<double>(buf->size()) + 28.0) * 5.0;  // + UDP/IP
+  const double per_sec = (static_cast<double>(buf.size()) + 28.0) * 5.0;  // + UDP/IP
   EXPECT_LT(per_sec, 1300.0);
   EXPECT_GT(per_sec, 800.0);
 }
 
 TEST(Messages, DecodeRejectsWrongTag) {
   auto buf = encode(ProposeMsg{NodeId{1}, {EventId{1, 1}}});
-  EXPECT_FALSE(decode_request(*buf).has_value());
-  EXPECT_FALSE(decode_serve(*buf).has_value());
-  EXPECT_FALSE(decode_aggregation(*buf).has_value());
+  EXPECT_FALSE(decode_request(buf).has_value());
+  EXPECT_FALSE(decode_serve(buf).has_value());
+  EXPECT_FALSE(decode_aggregation(buf).has_value());
 }
 
 TEST(Messages, DecodeRejectsTruncation) {
-  auto buf = encode(ServeMsg{
-      NodeId{3}, Event{EventId{4, 7},
-                       std::make_shared<const std::vector<std::uint8_t>>(100, 1)}});
+  auto buf = encode(ServeMsg{NodeId{3}, Event{EventId{4, 7}, make_payload(100, 1)}});
+  const auto whole = buf.to_vector();
   for (std::size_t cut : {1UL, 5UL, 13UL, 50UL}) {
-    std::vector<std::uint8_t> shorter(buf->begin(), buf->end() - static_cast<long>(cut));
-    EXPECT_FALSE(decode_serve(shorter).has_value()) << "cut=" << cut;
+    std::vector<std::uint8_t> shorter(whole.begin(), whole.end() - static_cast<long>(cut));
+    EXPECT_FALSE(decode_serve(std::span<const std::uint8_t>(shorter)).has_value())
+        << "cut=" << cut;
   }
 }
 
@@ -107,6 +146,133 @@ TEST(Messages, PeekTagRejectsGarbage) {
   EXPECT_FALSE(peek_tag(junk).has_value());
   std::vector<std::uint8_t> empty;
   EXPECT_FALSE(peek_tag(empty).has_value());
+}
+
+// --- randomized robustness: all four codecs -------------------------------
+// Round-trip random messages bit-exactly, then corrupt every prefix length
+// and random bytes; decode must return nullopt or a value, never read out
+// of bounds (the ASan CI job turns any overread into a failure).
+
+ProposeMsg random_propose(Rng& rng) {
+  ProposeMsg m{NodeId{static_cast<std::uint32_t>(rng.below(1000))}, {}};
+  const std::size_t n = rng.below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.ids.emplace_back(static_cast<std::uint32_t>(rng.below(1 << 20)),
+                       static_cast<std::uint16_t>(rng.below(110)));
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+TEST(MessagesFuzz, RandomizedRoundTripAllCodecs) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    const ProposeMsg p = random_propose(rng);
+    auto pd = decode_propose(encode(p));
+    ASSERT_TRUE(pd.has_value());
+    EXPECT_EQ(pd->sender, p.sender);
+    EXPECT_EQ(pd->ids, p.ids);
+
+    const RequestMsg q{p.sender, p.ids};
+    auto qd = decode_request(encode(q));
+    ASSERT_TRUE(qd.has_value());
+    EXPECT_EQ(qd->ids, q.ids);
+
+    const ServeMsg s{NodeId{static_cast<std::uint32_t>(rng.below(1000))},
+                     Event{EventId{static_cast<std::uint32_t>(rng.below(1 << 16)),
+                                   static_cast<std::uint16_t>(rng.below(110))},
+                           net::BufferRef::copy_of(random_bytes(rng, rng.below(1400)))}};
+    auto sd = decode_serve(encode(s));
+    ASSERT_TRUE(sd.has_value());
+    EXPECT_EQ(sd->event.id, s.event.id);
+    EXPECT_EQ(sd->event.payload.to_vector(), s.event.payload.to_vector());
+
+    AggregationMsg a{NodeId{1}, {}};
+    const std::size_t recs = rng.below(15);
+    for (std::size_t i = 0; i < recs; ++i) {
+      a.records.push_back(CapabilityRecord{
+          NodeId{static_cast<std::uint32_t>(rng.below(1000))},
+          static_cast<std::int64_t>(rng.below(10'000'000)),
+          sim::SimTime::us(static_cast<std::int64_t>(rng.below(1'000'000'000)))});
+    }
+    auto ad = decode_aggregation(encode(a));
+    ASSERT_TRUE(ad.has_value());
+    ASSERT_EQ(ad->records.size(), a.records.size());
+    for (std::size_t i = 0; i < recs; ++i) {
+      EXPECT_EQ(ad->records[i].origin, a.records[i].origin);
+      EXPECT_EQ(ad->records[i].capability_bps, a.records[i].capability_bps);
+    }
+  }
+}
+
+void decode_all(std::span<const std::uint8_t> buf) {
+  (void)peek_tag(buf);
+  (void)decode_propose(buf);
+  (void)decode_request(buf);
+  (void)decode_serve(buf);
+  (void)decode_aggregation(buf);
+}
+
+TEST(MessagesFuzz, EveryPrefixOfEveryCodecIsSafe) {
+  Rng rng(7);
+  std::vector<net::BufferRef> encoded{
+      encode(random_propose(rng)),
+      encode(RequestMsg{NodeId{3}, {EventId{1, 2}, EventId{1, 3}}}),
+      encode(ServeMsg{NodeId{5},
+                      Event{EventId{9, 9}, net::BufferRef::copy_of(random_bytes(rng, 300))}}),
+      encode(AggregationMsg{NodeId{2},
+                            {{NodeId{4}, 512'000, sim::SimTime::ms(9)},
+                             {NodeId{5}, 128'000, sim::SimTime::ms(10)}}}),
+  };
+  for (const auto& buf : encoded) {
+    const auto whole = buf.to_vector();
+    // Every strict prefix: decoders must reject without overreading.
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+      decode_all(std::span<const std::uint8_t>(whole.data(), len));
+    }
+  }
+}
+
+TEST(MessagesFuzz, CorruptedBytesNeverReadOutOfBounds) {
+  Rng rng(13);
+  for (int iter = 0; iter < 300; ++iter) {
+    auto whole =
+        encode(ServeMsg{NodeId{5}, Event{EventId{9, 9},
+                                         net::BufferRef::copy_of(random_bytes(rng, 200))}})
+            .to_vector();
+    // Flip a few random bytes — length prefixes and varints included.
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      whole[rng.below(whole.size())] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    decode_all(whole);
+    // Pure noise, too.
+    decode_all(random_bytes(rng, rng.below(64)));
+  }
+}
+
+TEST(MessagesFuzz, OversizedLengthClaimsAreRejected) {
+  // A varint length prefix claiming more bytes than the buffer holds (or
+  // than 64 bits can express) must fail cleanly, not wrap pos_ + n.
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgTag::kServe));
+  w.u32(1);
+  w.u64(EventId{1, 1}.raw());
+  for (int i = 0; i < 9; ++i) w.u8(0xff);  // varint claiming ~2^63 payload bytes
+  w.u8(0x7f);
+  const auto buf = w.finish();
+  EXPECT_FALSE(decode_serve(buf).has_value());
+
+  net::ByteWriter w2;
+  w2.u8(static_cast<std::uint8_t>(MsgTag::kPropose));
+  w2.u32(1);
+  for (int i = 0; i < 10; ++i) w2.u8(0xff);  // varint overflowing 64 bits
+  EXPECT_FALSE(decode_propose(w2.finish()).has_value());
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ double run_delivery_fraction(std::size_t n, double fanout, std::uint64_t seed,
   }
   for (auto& g : nodes) g->start();
   nodes[0]->publish(
-      Event{EventId{0, 0}, std::make_shared<const std::vector<std::uint8_t>>(16, 1)});
+      Event{EventId{0, 0}, net::BufferRef::copy_of(std::vector<std::uint8_t>(16, 1))});
   sim.run_until(sim::SimTime::sec(20));
   double total = 0;
   for (int v : got) total += v;

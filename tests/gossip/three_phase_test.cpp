@@ -46,7 +46,7 @@ struct Swarm {
 
   Event make_event(std::uint32_t w, std::uint16_t i, std::size_t bytes = 64) {
     return Event{EventId{w, i},
-                 std::make_shared<const std::vector<std::uint8_t>>(bytes, 0x11)};
+                 net::BufferRef::copy_of(std::vector<std::uint8_t>(bytes, 0x11))};
   }
 };
 
@@ -76,14 +76,13 @@ TEST(ThreePhase, DeliversExactlyOncePerNode) {
 
 TEST(ThreePhase, PayloadsSurviveDissemination) {
   Swarm s(10);
-  auto payload = std::make_shared<const std::vector<std::uint8_t>>(
-      std::vector<std::uint8_t>{1, 2, 3, 4, 5});
-  s.nodes[0]->publish(Event{EventId{1, 1}, payload});
+  const std::vector<std::uint8_t> raw{1, 2, 3, 4, 5};
+  s.nodes[0]->publish(Event{EventId{1, 1}, net::BufferRef::copy_of(raw)});
   s.sim.run_until(sim::SimTime::sec(5));
   for (std::size_t i = 1; i < 10; ++i) {
     ASSERT_EQ(s.delivered[i].size(), 1u);
     ASSERT_TRUE(s.delivered[i][0].payload);
-    EXPECT_EQ(*s.delivered[i][0].payload, *payload);
+    EXPECT_EQ(s.delivered[i][0].payload.to_vector(), raw);
   }
 }
 
@@ -182,6 +181,79 @@ TEST(ThreePhase, GarbageCollectionBoundsState) {
   EXPECT_FALSE(s.nodes[0]->has_delivered(EventId{5, 0}));
   EXPECT_TRUE(s.nodes[0]->has_delivered(EventId{6, 0}));
   EXPECT_TRUE(s.nodes[0]->has_delivered(EventId{9, 0}));
+}
+
+TEST(ThreePhase, RetransmitRetriesAlternateProposerUntilCancelled) {
+  GossipConfig cfg;
+  cfg.retransmit_period = sim::SimTime::ms(100);
+  Swarm s(4, cfg);
+  // Nodes 1 and 2 both propose (0,0) to node 3; nobody ever serves it.
+  const auto inject_propose = [&](std::uint32_t from) {
+    s.nodes[3]->on_datagram(net::Datagram{NodeId{from}, NodeId{3}, net::MsgClass::kPropose,
+                                          encode(ProposeMsg{NodeId{from}, {EventId{0, 0}}})});
+  };
+  inject_propose(1);
+  inject_propose(2);
+  EXPECT_EQ(s.nodes[3]->stats().requests_sent, 1u);  // requested from the first proposer
+  // First timeout: the retry must go to the *other* proposer.
+  s.sim.run_until(sim::SimTime::ms(150));
+  EXPECT_EQ(s.nodes[3]->stats().requests_sent, 2u);
+  EXPECT_GE(s.nodes[3]->retransmit_stats().retries_fired, 1u);
+  // cancel_window_requests stops all further retries for the window.
+  s.nodes[3]->cancel_window_requests(0);
+  const auto requests_before = s.nodes[3]->stats().requests_sent;
+  const auto retries_before = s.nodes[3]->retransmit_stats().retries_fired;
+  s.sim.run_until(sim::SimTime::sec(20));
+  EXPECT_EQ(s.nodes[3]->stats().requests_sent, requests_before);
+  EXPECT_EQ(s.nodes[3]->retransmit_stats().retries_fired, retries_before);
+  EXPECT_FALSE(s.nodes[3]->has_delivered(EventId{0, 0}));
+  // A late re-propose of the cancelled window must not re-request either.
+  inject_propose(1);
+  EXPECT_EQ(s.nodes[3]->stats().requests_sent, requests_before);
+}
+
+TEST(ThreePhase, DuplicateServesDeliverOnceAndProposeOnce) {
+  // "Infect and die" under retransmission: a duplicate serve (e.g. a retried
+  // request answered twice) must neither re-deliver nor re-propose the id.
+  Swarm s(4);
+  const auto inject_propose = [&](std::uint32_t from) {
+    s.nodes[3]->on_datagram(net::Datagram{NodeId{from}, NodeId{3}, net::MsgClass::kPropose,
+                                          encode(ProposeMsg{NodeId{from}, {EventId{0, 0}}})});
+  };
+  const auto inject_serve = [&](std::uint32_t from) {
+    const Event ev{EventId{0, 0},
+                   net::BufferRef::copy_of(std::vector<std::uint8_t>(64, 0x11))};
+    s.nodes[3]->on_datagram(net::Datagram{NodeId{from}, NodeId{3}, net::MsgClass::kServe,
+                                          encode(ServeMsg{NodeId{from}, ev})});
+  };
+  inject_propose(1);
+  inject_propose(2);
+  inject_serve(1);
+  EXPECT_EQ(s.nodes[3]->retransmit_stats().cancelled_by_serve, 1u);
+  inject_serve(2);  // the duplicate
+  EXPECT_EQ(s.nodes[3]->stats().events_delivered, 1u);
+  EXPECT_EQ(s.nodes[3]->stats().duplicate_serves, 1u);
+  // The id is proposed in exactly one round (to <= 3 peers at fanout 4).
+  s.sim.run_until(sim::SimTime::sec(2));
+  const auto proposed = s.nodes[3]->stats().ids_proposed;
+  EXPECT_GE(proposed, 1u);
+  EXPECT_LE(proposed, 3u);
+  s.sim.run_until(sim::SimTime::sec(10));
+  EXPECT_EQ(s.nodes[3]->stats().ids_proposed, proposed);  // never re-proposed
+}
+
+TEST(ThreePhase, BatchedServeAnswersMultiIdRequestInOneBuffer) {
+  Swarm s(2);
+  // Node 0 holds three events of one window, published in one round.
+  for (std::uint16_t k = 0; k < 3; ++k) s.nodes[0]->publish(s.make_event(5, k));
+  // Node 1 requests all three in a single Request datagram.
+  s.nodes[0]->on_datagram(net::Datagram{
+      NodeId{1}, NodeId{0}, net::MsgClass::kRequest,
+      encode(RequestMsg{NodeId{1}, {EventId{5, 0}, EventId{5, 1}, EventId{5, 2}}})});
+  EXPECT_EQ(s.nodes[0]->stats().serves_sent, 3u);   // one datagram per event...
+  EXPECT_EQ(s.nodes[0]->stats().serve_batches, 1u); // ...sharing one pooled buffer
+  s.sim.run_until(sim::SimTime::sec(5));
+  EXPECT_EQ(s.delivered[1].size(), 3u);
 }
 
 TEST(ThreePhase, StatsAreConsistent) {

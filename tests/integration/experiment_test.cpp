@@ -195,14 +195,14 @@ TEST(Experiment, RealPayloadsDecodeByteExact) {
         cfg.stream.window_packets());
     for (std::uint16_t k = 0; k < cfg.stream.window_packets(); ++k) {
       if (const auto* e = g.delivered_event(gossip::EventId{0, k})) {
-        shards[k] = *e->payload;
+        shards[k] = e->payload.to_vector();
       }
     }
     auto decoded = codec.decode_window(shards);
     if (!decoded.has_value()) continue;
     for (std::uint16_t k = 0; k < cfg.stream.data_per_window; ++k) {
       ASSERT_EQ((*decoded)[k],
-                *stream::synth_payload(0, k, cfg.stream.packet_bytes))
+                stream::synth_payload(0, k, cfg.stream.packet_bytes).to_vector())
           << "node " << i << " packet " << k;
     }
     ++verified_nodes;

@@ -7,8 +7,8 @@
 namespace hg::net {
 namespace {
 
-std::shared_ptr<const std::vector<std::uint8_t>> make_bytes(std::size_t n) {
-  return std::make_shared<const std::vector<std::uint8_t>>(n, 0x55);
+BufferRef make_bytes(std::size_t n) {
+  return BufferRef::copy_of(std::vector<std::uint8_t>(n, 0x55));
 }
 
 struct Harness {
@@ -103,6 +103,36 @@ TEST(Fabric, UploadCapacitySerializesTraffic) {
   ASSERT_EQ(arrival.size(), 2u);
   EXPECT_EQ(arrival[0], sim::SimTime::sec(1));
   EXPECT_EQ(arrival[1], sim::SimTime::sec(2));
+}
+
+TEST(Fabric, SlicedBatchMetersLikeIndividualDatagrams) {
+  // The batched-serve path sends zero-copy slices of one pooled buffer;
+  // each slice must meter as its own datagram (msgs, bytes, UDP overhead).
+  Harness h(2);
+  const BufferRef batch = BufferRef::copy_of(std::vector<std::uint8_t>(150, 0x77));
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe, batch.slice(0, 100));
+  h.fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe, batch.slice(100, 50));
+  h.sim.run_until(sim::SimTime::sec(1));
+  EXPECT_EQ(h.fabric.meter(NodeId{0}).sent(MsgClass::kServe).msgs, 2u);
+  EXPECT_EQ(h.fabric.meter(NodeId{0}).sent(MsgClass::kServe).bytes,
+            100 + 50 + 2 * kUdpIpOverheadBytes);
+  ASSERT_EQ(h.received[1].size(), 2u);
+  EXPECT_EQ(h.received[1][0].bytes.size(), 100u);
+  EXPECT_EQ(h.received[1][1].bytes.size(), 50u);
+}
+
+TEST(FabricDeathTest, RegisterNodeEnforcesConsecutiveIds) {
+  sim::Simulator s(1);
+  NetworkFabric fabric(s, std::make_unique<ConstantLatency>(sim::SimTime::ms(1)),
+                       std::make_unique<NoLoss>());
+  fabric.register_node(NodeId{0}, BitRate::unlimited(), nullptr);
+  // Skipping an id breaks entry()'s index-by-id contract: must abort loudly,
+  // not corrupt the entry table.
+  EXPECT_DEATH(fabric.register_node(NodeId{2}, BitRate::unlimited(), nullptr),
+               "consecutive ids");
+  // Re-registering an existing id is equally fatal.
+  EXPECT_DEATH(fabric.register_node(NodeId{0}, BitRate::unlimited(), nullptr),
+               "consecutive ids");
 }
 
 TEST(Fabric, PlanetLabLatencyIsStablePerPair) {

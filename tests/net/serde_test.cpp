@@ -90,6 +90,41 @@ TEST(Serde, MalformedVarintReturnsNullopt) {
   EXPECT_FALSE(r.varint().has_value());
 }
 
+TEST(Serde, TenByteVarintAtMaxDecodes) {
+  ByteWriter w;
+  w.varint(~0ULL);
+  const auto buf = w.take();
+  EXPECT_EQ(buf.size(), 10u);
+  ByteReader r(buf);
+  EXPECT_EQ(r.varint(), ~0ULL);
+}
+
+TEST(Serde, OverlongVarintIsRejected) {
+  // 10 bytes whose final byte carries more than the one bit that fits in a
+  // 64-bit value: accepting it would silently truncate.
+  std::vector<std::uint8_t> overflow(9, 0xff);
+  overflow.push_back(0x02);
+  ByteReader r(overflow);
+  EXPECT_FALSE(r.varint().has_value());
+
+  // 11-byte encoding: too long regardless of content.
+  std::vector<std::uint8_t> toolong(10, 0x80);
+  toolong.push_back(0x01);
+  ByteReader r2(toolong);
+  EXPECT_FALSE(r2.varint().has_value());
+}
+
+TEST(Serde, OversizedBytesClaimIsRejected) {
+  // A length prefix near 2^64 must fail the bounds check instead of
+  // overflowing pos + n and passing it.
+  ByteWriter w;
+  w.varint(~0ULL - 7);
+  w.u32(0xdeadbeef);  // a few real bytes after the huge claim
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
 TEST(Serde, EmptyBuffer) {
   std::vector<std::uint8_t> empty;
   ByteReader r(empty);

@@ -7,8 +7,8 @@
 namespace hg::net {
 namespace {
 
-std::shared_ptr<const std::vector<std::uint8_t>> make_bytes(std::size_t n) {
-  return std::make_shared<const std::vector<std::uint8_t>>(n, 0xaa);
+BufferRef make_bytes(std::size_t n) {
+  return BufferRef::copy_of(std::vector<std::uint8_t>(n, 0xaa));
 }
 
 Datagram make_datagram(std::size_t body, MsgClass cls = MsgClass::kServe) {

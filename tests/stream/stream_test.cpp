@@ -65,7 +65,7 @@ TEST(StreamSource, SizedModeSharesOnePayloadBuffer) {
   source.start(sim::SimTime::zero(), 2);
   sim.run_until(sim::SimTime::sec(1));
   ASSERT_GE(events.size(), 2u);
-  EXPECT_EQ(events[0].payload.get(), events[1].payload.get());
+  EXPECT_EQ(events[0].payload.data(), events[1].payload.data());
   EXPECT_EQ(events[0].payload_size(), 100u);
 }
 
@@ -86,12 +86,12 @@ TEST(StreamSource, RealModeParityDecodes) {
   std::vector<std::optional<std::vector<std::uint8_t>>> received(10);
   for (const auto& e : events) {
     if (e.id.index() == 1 || e.id.index() == 4) continue;
-    received[e.id.index()] = *e.payload;
+    received[e.id.index()] = e.payload.to_vector();
   }
   auto decoded = codec.decode_window(received);
   ASSERT_TRUE(decoded.has_value());
-  EXPECT_EQ((*decoded)[1], *synth_payload(0, 1, cfg.packet_bytes));
-  EXPECT_EQ((*decoded)[4], *synth_payload(0, 4, cfg.packet_bytes));
+  EXPECT_EQ((*decoded)[1], synth_payload(0, 1, cfg.packet_bytes).to_vector());
+  EXPECT_EQ((*decoded)[4], synth_payload(0, 4, cfg.packet_bytes).to_vector());
 }
 
 struct PlayerHarness {
@@ -101,7 +101,7 @@ struct PlayerHarness {
 
   void deliver(std::uint32_t w, std::uint16_t i, double at_sec) {
     sim.run_until(sim::SimTime::sec(at_sec));
-    player.on_deliver(gossip::Event{packet_id(w, i), nullptr});
+    player.on_deliver(gossip::Event{packet_id(w, i), net::BufferRef{}});
   }
 };
 
@@ -173,7 +173,7 @@ struct AnalyzerHarness {
   void arrive(std::uint32_t w, std::uint16_t i, double at_sec) {
     // Directly inject an arrival at a scripted time (time moves forward).
     sim.run_until(sim::SimTime::sec(at_sec));
-    player->on_deliver(gossip::Event{packet_id(w, i), nullptr});
+    player->on_deliver(gossip::Event{packet_id(w, i), net::BufferRef{}});
   }
 };
 

@@ -53,7 +53,7 @@ TEST(StaticTree, DepthComputation) {
 
 TEST(StaticTree, LosslessDeliversToAll) {
   TreeHarness h(30, 3);
-  auto payload = std::make_shared<const std::vector<std::uint8_t>>(100, 1);
+  auto payload = net::BufferRef::copy_of(std::vector<std::uint8_t>(100, 1));
   h.tree->publish(gossip::Event{gossip::EventId{0, 0}, payload});
   h.sim.run_until(sim::SimTime::sec(1));
   for (std::size_t i = 0; i < 30; ++i) {
@@ -69,7 +69,7 @@ TEST(StaticTree, LossPrunesSubtrees) {
   const int kPackets = 200;
   for (int k = 0; k < kPackets; ++k) {
     h.tree->publish(
-        gossip::Event{gossip::EventId{0, static_cast<std::uint16_t>(k)}, nullptr});
+        gossip::Event{gossip::EventId{0, static_cast<std::uint16_t>(k)}, net::BufferRef{}});
   }
   h.sim.run_until(sim::SimTime::sec(20));
   double total = 0;
