@@ -51,13 +51,13 @@ int main(int argc, char** argv) {
                 lags.percentile(75), lags.percentile(90));
   }
 
-  // What did HEAP's aggregation think the average capability was?
+  // What did HEAP's aggregation think the average capability was? Each node
+  // is a protocol stack; the aggregation module is looked up by type.
   double est_sum = 0;
   std::size_t est_n = 0;
   for (std::size_t i = 0; i < exp.receivers(); ++i) {
-    if (const auto* agg =
-            const_cast<core::HeapNode&>(exp.node(i)).aggregator()) {
-      est_sum += agg->average_capability_bps() / 1000.0;
+    if (const auto* agg = exp.node(i).find_module<aggregation::AggregationModule>()) {
+      est_sum += agg->aggregator().average_capability_bps() / 1000.0;
       ++est_n;
     }
   }

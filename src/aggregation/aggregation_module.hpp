@@ -1,0 +1,33 @@
+// Mounts the freshness-based capability aggregation on a NodeRuntime,
+// claiming the kAggregation tag. The wrapped aggregator doubles as the
+// CapabilityEstimator an AdaptiveFanout policy reads b̄ from — the heap()
+// preset constructs this module first and points the policy at it.
+#pragma once
+
+#include "aggregation/freshness_aggregator.hpp"
+#include "core/node_runtime.hpp"
+
+namespace hg::aggregation {
+
+class AggregationModule final : public core::Protocol {
+ public:
+  AggregationModule(core::NodeRuntime& runtime, BitRate own_capability, AggregationConfig config)
+      : aggregator_(runtime.sim(), runtime.fabric(), runtime.view(), runtime.self(),
+                    own_capability, config),
+        tag_(runtime.register_tag(gossip::MsgTag::kAggregation, this)) {}
+
+  void start() override { aggregator_.start(); }
+  void stop() override { aggregator_.stop(); }
+  [[nodiscard]] const char* name() const override { return "aggregation"; }
+
+  void on_datagram(const net::Datagram& d) { aggregator_.on_datagram(d); }
+
+  [[nodiscard]] FreshnessAggregator& aggregator() { return aggregator_; }
+  [[nodiscard]] const FreshnessAggregator& aggregator() const { return aggregator_; }
+
+ private:
+  FreshnessAggregator aggregator_;
+  core::TagRegistration tag_;
+};
+
+}  // namespace hg::aggregation

@@ -10,6 +10,11 @@
 //   exp.run();
 //   auto lag = hg::scenario::jitter_free_lags(exp, /*max_jitter=*/0.0);
 //
+// Nodes are protocol stacks: a core::NodeRuntime routes datagrams by tag to
+// the protocol modules mounted on it, and applications observe the stack
+// through its typed signal bus. NodeRuntime::heap / ::standard are the
+// paper's two presets; custom stacks mount any mix of modules.
+//
 // Layers, bottom to top:
 //   sim          deterministic discrete-event kernel
 //   net          serialization, latency/loss, upload-rate limiting, fabric
@@ -17,18 +22,23 @@
 //   fec          GF(256) systematic Reed-Solomon windows
 //   gossip       three-phase propose/request/serve dissemination
 //   aggregation  capability averaging (freshness gossip + push-sum)
-//   core         HEAP: adaptive fanout policy + node composition
+//   core         NodeRuntime + Protocol: tag-routed module composition
 //   stream       source, player, lag/jitter analysis
 //   scenario     experiment runner + paper report builders
 #pragma once
 
+#include "aggregation/aggregation_module.hpp"
 #include "aggregation/freshness_aggregator.hpp"
 #include "aggregation/push_sum.hpp"
-#include "core/heap_node.hpp"
+#include "core/node_runtime.hpp"
+#include "core/protocol.hpp"
+#include "core/signal.hpp"
 #include "fec/window_codec.hpp"
 #include "gossip/fanout_policy.hpp"
+#include "gossip/gossip_module.hpp"
 #include "gossip/three_phase.hpp"
 #include "membership/cyclon.hpp"
+#include "membership/cyclon_module.hpp"
 #include "membership/directory.hpp"
 #include "net/fabric.hpp"
 #include "scenario/deployment.hpp"
@@ -39,5 +49,7 @@
 #include "sim/simulator.hpp"
 #include "stream/lag_analyzer.hpp"
 #include "stream/player.hpp"
+#include "stream/player_module.hpp"
 #include "stream/source.hpp"
 #include "tree/static_tree.hpp"
+#include "tree/tree_module.hpp"

@@ -1,0 +1,185 @@
+// Typed signal bus: multi-subscriber observation without factory gymnastics.
+//
+// `Signal<Args...>` is a list of `void(Args...)` subscribers invoked in
+// subscription order; `Gate<Args...>` is its veto-shaped sibling — every
+// subscriber returns bool and ask() is the AND over all of them (true when
+// empty). Both hand back a move-only RAII `Subscription` that detaches on
+// destruction, so an observer that dies can never leave a dangling callback
+// behind. Subscribers are stored in `sim::BasicSmallFn` slots: captures up
+// to 48 bytes (a player pointer, a stats struct reference) live inline.
+//
+// Lifetime contract: a Subscription must not outlive its Signal/Gate (like
+// an EventHandle and its queue). Emission is not reentrant with mutation —
+// subscribing or unsubscribing from inside a callback asserts (re-emitting
+// a signal from inside its own emission is allowed).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/small_fn.hpp"
+
+namespace hg::core {
+
+namespace detail {
+template <class Fn>
+class SlotList;
+}  // namespace detail
+
+// Detaches one subscriber from its Signal/Gate when destroyed or reset.
+class Subscription {
+ public:
+  Subscription() = default;
+
+  Subscription(Subscription&& o) noexcept : owner_(o.owner_), detach_(o.detach_), id_(o.id_) {
+    o.owner_ = nullptr;
+  }
+  Subscription& operator=(Subscription&& o) noexcept {
+    if (this != &o) {
+      reset();
+      owner_ = o.owner_;
+      detach_ = o.detach_;
+      id_ = o.id_;
+      o.owner_ = nullptr;
+    }
+    return *this;
+  }
+
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  ~Subscription() { reset(); }
+
+  void reset() {
+    if (owner_ != nullptr) {
+      detach_(owner_, id_);
+      owner_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] bool active() const { return owner_ != nullptr; }
+
+ private:
+  template <class>
+  friend class detail::SlotList;
+
+  Subscription(void* owner, void (*detach)(void*, std::uint64_t), std::uint64_t id)
+      : owner_(owner), detach_(detach), id_(id) {}
+
+  void* owner_ = nullptr;
+  void (*detach_)(void*, std::uint64_t) = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+namespace detail {
+
+// Shared subscriber-list mechanics of Signal and Gate: ordered slots, RAII
+// detachment, and the iteration guard.
+template <class Fn>
+class SlotList {
+ public:
+  SlotList() = default;
+  SlotList(const SlotList&) = delete;  // subscriptions hold our address
+  SlotList& operator=(const SlotList&) = delete;
+
+  [[nodiscard]] Subscription subscribe(Fn fn) {
+    HG_ASSERT_MSG(!iterating_, "cannot subscribe from inside emit/ask");
+    const std::uint64_t id = next_id_++;
+    slots_.push_back(Slot{id, std::move(fn)});
+    return Subscription{this, &SlotList::detach, id};
+  }
+
+  [[nodiscard]] std::size_t count() const { return slots_.size(); }
+
+  // Guard for the duration of one emit/ask. Nested iteration of the same
+  // list is fine (read-only); the saved flag keeps the guard armed until
+  // the outermost iteration finishes.
+  class IterationScope {
+   public:
+    explicit IterationScope(SlotList& list) : list_(list), was_(list.iterating_) {
+      list_.iterating_ = true;
+    }
+    ~IterationScope() { list_.iterating_ = was_; }
+    IterationScope(const IterationScope&) = delete;
+    IterationScope& operator=(const IterationScope&) = delete;
+
+   private:
+    SlotList& list_;
+    bool was_;
+  };
+
+  struct Slot {
+    std::uint64_t id;
+    Fn fn;
+  };
+
+  std::vector<Slot> slots_;
+
+ private:
+  static void detach(void* owner, std::uint64_t id) {
+    static_cast<SlotList*>(owner)->remove(id);
+  }
+
+  void remove(std::uint64_t id) {
+    HG_ASSERT_MSG(!iterating_, "cannot unsubscribe from inside emit/ask");
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].id == id) {
+        slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  std::uint64_t next_id_ = 1;
+  bool iterating_ = false;
+};
+
+}  // namespace detail
+
+// Multi-subscriber notification: emit() invokes every subscriber, in
+// subscription order.
+template <class... Args>
+class Signal {
+ public:
+  using Fn = sim::BasicSmallFn<void(Args...)>;
+
+  [[nodiscard]] Subscription subscribe(Fn fn) { return list_.subscribe(std::move(fn)); }
+
+  void emit(Args... args) {
+    typename detail::SlotList<Fn>::IterationScope scope(list_);
+    for (auto& slot : list_.slots_) slot.fn(args...);
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const { return list_.count(); }
+
+ private:
+  detail::SlotList<Fn> list_;
+};
+
+// Multi-subscriber veto: ask() is true iff every subscriber approves (an
+// empty gate approves everything). Subscribers are asked in subscription
+// order and the first veto short-circuits.
+template <class... Args>
+class Gate {
+ public:
+  using Fn = sim::BasicSmallFn<bool(Args...)>;
+
+  [[nodiscard]] Subscription subscribe(Fn fn) { return list_.subscribe(std::move(fn)); }
+
+  [[nodiscard]] bool ask(Args... args) {
+    typename detail::SlotList<Fn>::IterationScope scope(list_);
+    for (auto& slot : list_.slots_) {
+      if (!slot.fn(args...)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const { return list_.count(); }
+
+ private:
+  detail::SlotList<Fn> list_;
+};
+
+}  // namespace hg::core

@@ -1,0 +1,23 @@
+#include "gossip/gossip_module.hpp"
+
+namespace hg::gossip {
+
+GossipModule::GossipModule(core::NodeRuntime& runtime, GossipConfig config,
+                           std::unique_ptr<FanoutPolicy> policy)
+    : policy_(std::move(policy)),
+      engine_(runtime.sim(), runtime.fabric(), runtime.view(), runtime.self(), config,
+              *policy_) {
+  tags_[0] = runtime.register_tag(MsgTag::kPropose, this);
+  tags_[1] = runtime.register_tag(MsgTag::kRequest, this);
+  tags_[2] = runtime.register_tag(MsgTag::kServe, this);
+  // Capturing the runtime by pointer is safe: runtimes are heap-owned and
+  // outlive their modules.
+  core::NodeRuntime* rt = &runtime;
+  engine_.set_deliver([rt](const Event& e) { rt->deliveries().emit(e); });
+  engine_.set_should_request([rt](EventId id) { return rt->request_gate().ask(id); });
+  cancel_sub_ = runtime.window_cancelled().subscribe(
+      [this](std::uint32_t window) { engine_.cancel_window_requests(window); });
+  runtime.set_publisher([this](Event e) { engine_.publish(std::move(e)); });
+}
+
+}  // namespace hg::gossip

@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "gossip/messages.hpp"
 #include "net/serde.hpp"
 
 namespace hg::membership {
 
 namespace {
-constexpr std::uint8_t kShuffleRequest = 1;
-constexpr std::uint8_t kShuffleReply = 2;
+// Wire tags come from the shared MsgTag space so a tag-routed node can
+// multiplex Cyclon with gossip and aggregation on one port.
+constexpr std::uint8_t kShuffleRequest = static_cast<std::uint8_t>(gossip::MsgTag::kCyclonRequest);
+constexpr std::uint8_t kShuffleReply = static_cast<std::uint8_t>(gossip::MsgTag::kCyclonReply);
 }  // namespace
 
 CyclonNode::CyclonNode(sim::Simulator& simulator, net::NetworkFabric& fabric, NodeId self,

@@ -36,7 +36,8 @@ class CyclonNode {
   void start();
   void stop();
 
-  // Handles an incoming kMembership datagram addressed to this node.
+  // Handles an incoming kCyclonRequest / kCyclonReply datagram addressed to
+  // this node.
   void on_datagram(const net::Datagram& d);
 
   // Uniform-ish selection of up to k distinct peers from the current view.

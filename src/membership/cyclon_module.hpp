@@ -1,0 +1,35 @@
+// Mounts Cyclon peer sampling on a NodeRuntime, claiming the
+// kCyclonRequest / kCyclonReply tags (CyclonNode's wire format leads with
+// exactly those bytes, so the runtime's tag router multiplexes it next to
+// gossip and aggregation on one port).
+#pragma once
+
+#include "core/node_runtime.hpp"
+#include "membership/cyclon.hpp"
+
+namespace hg::membership {
+
+class CyclonModule final : public core::Protocol {
+ public:
+  CyclonModule(core::NodeRuntime& runtime, CyclonConfig config)
+      : node_(runtime.sim(), runtime.fabric(), runtime.self(), config),
+        request_tag_(runtime.register_tag(gossip::MsgTag::kCyclonRequest, this)),
+        reply_tag_(runtime.register_tag(gossip::MsgTag::kCyclonReply, this)) {}
+
+  void start() override { node_.start(); }
+  void stop() override { node_.stop(); }
+  [[nodiscard]] const char* name() const override { return "cyclon"; }
+
+  void on_datagram(const net::Datagram& d) { node_.on_datagram(d); }
+
+  void bootstrap(const std::vector<NodeId>& initial) { node_.bootstrap(initial); }
+  [[nodiscard]] CyclonNode& sampler() { return node_; }
+  [[nodiscard]] const CyclonNode& sampler() const { return node_; }
+
+ private:
+  CyclonNode node_;
+  core::TagRegistration request_tag_;
+  core::TagRegistration reply_tag_;
+};
+
+}  // namespace hg::membership

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "stream/player_module.hpp"
 
 namespace hg::scenario {
 
@@ -16,6 +17,16 @@ constexpr std::uint64_t kChurnStream = 0x4348524e;   // "CHRN"
 Deployment::~Deployment() = default;
 
 std::unique_ptr<Deployment> Deployment::Builder::build() const {
+  // --- plan validation ------------------------------------------------------
+  sim::SimTime prev_churn = sim::SimTime::zero();
+  for (const ChurnEvent& event : churn_.schedule) {
+    HG_ASSERT_MSG(event.fraction >= 0.0 && event.fraction <= 1.0,
+                  "ChurnEvent.fraction must be within [0, 1]");
+    HG_ASSERT_MSG(event.at >= prev_churn,
+                  "churn schedule must be sorted by time (non-monotone schedule rejected)");
+    prev_churn = event.at;
+  }
+
   // make_unique can't reach the private constructor.
   std::unique_ptr<Deployment> d(new Deployment());
   d->stream_ = stream_;
@@ -46,7 +57,7 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
   if (!make_node) {
     make_node = [](sim::Simulator& s, net::NetworkFabric& f, membership::Directory& dir,
                    NodeId id, const core::NodeConfig& cfg) {
-      return std::make_unique<core::HeapNode>(s, f, dir, id, cfg);
+      return core::NodeRuntime::make(s, f, dir, id, cfg);
     };
   }
 
@@ -55,10 +66,7 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
   source_cfg.mode = core::Mode::kStandard;  // the broadcaster does not adapt
   source_cfg.capability = population_.source_capability;
   d->source_node_ = make_node(sim, *d->fabric_, *d->directory_, NodeId{0}, source_cfg);
-  d->fabric_->register_node(NodeId{0}, population_.source_capability,
-                            [node = d->source_node_.get()](const net::Datagram& dg) {
-                              node->on_datagram(dg);
-                            });
+  d->source_node_->attach(population_.source_capability);
 
   // --- receivers ----------------------------------------------------------
   Rng assign_rng = sim.make_rng(kAssignStream);
@@ -85,15 +93,10 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
     r.player = std::make_unique<stream::Player>(sim, stream_.stream, stream_.windows);
     r.player->set_smart(population_.smart_receivers);
 
-    auto* player = r.player.get();
-    auto* node = r.node.get();
-    node->set_deliver([player](const gossip::Event& e) { player->on_deliver(e); });
-    node->set_should_request([player](gossip::EventId id) { return player->should_request(id); });
-    player->set_cancel_window(
-        [node](std::uint32_t w) { node->gossip().cancel_window_requests(w); });
-
-    d->fabric_->register_node(id, r.info.actual_capacity,
-                              [node](const net::Datagram& dg) { node->on_datagram(dg); });
+    // Signal-bus glue: deliveries -> player, request budget -> gate, window
+    // cancellation -> the gossip module's subscription.
+    r.node->emplace_module<stream::PlayerModule>(*r.player);
+    r.node->attach(r.info.actual_capacity);
     d->receivers_.push_back(std::move(r));
   }
 

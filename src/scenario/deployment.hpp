@@ -1,12 +1,14 @@
 // Deployment: the assembled system under test — simulator, network fabric,
-// membership directory, one protocol node + player per peer, a stream
+// membership directory, one protocol stack + player per peer, a stream
 // source, and a churn schedule.
 //
 // Assembly is split into four composable plans (network, population, stream,
 // churn) glued together by a Builder, so scenarios can vary one axis without
-// re-describing the rest, and a pluggable NodeFactory so experiments can
-// substitute instrumented or misbehaving nodes. `Experiment` remains the
-// paper-shaped front end: it flattens an ExperimentConfig into these plans.
+// re-describing the rest, and a pluggable NodeFactory handing out
+// core::NodeRuntime stacks so experiments can deploy custom or misbehaving
+// node compositions — including mixed populations where different receivers
+// run different stacks. `Experiment` remains the paper-shaped front end: it
+// flattens an ExperimentConfig into these plans.
 #pragma once
 
 #include <functional>
@@ -14,7 +16,7 @@
 #include <optional>
 #include <vector>
 
-#include "core/heap_node.hpp"
+#include "core/node_runtime.hpp"
 #include "membership/directory.hpp"
 #include "net/fabric.hpp"
 #include "scenario/distribution.hpp"
@@ -77,9 +79,11 @@ struct ReceiverInfo {
 
 class Deployment {
  public:
-  // Override to deploy custom node implementations (instrumented nodes,
-  // freeriders, ...). The default constructs a plain core::HeapNode.
-  using NodeFactory = std::function<std::unique_ptr<core::HeapNode>(
+  // Hands out the protocol stack each node runs. The default is
+  // core::NodeRuntime::make (preset selected by NodeConfig::mode); override
+  // to deploy custom stacks — instrumented nodes, freeriders, or mixed
+  // populations choosing a preset per id.
+  using NodeFactory = std::function<std::unique_ptr<core::NodeRuntime>(
       sim::Simulator&, net::NetworkFabric&, membership::Directory&, NodeId,
       const core::NodeConfig&)>;
 
@@ -111,7 +115,9 @@ class Deployment {
     }
 
     // Assembles the full system and arms the churn schedule; protocol and
-    // stream activity only begins at start().
+    // stream activity only begins at start(). Validates the plans first:
+    // a churn fraction outside [0, 1] or a non-monotone churn schedule is
+    // rejected with a clear error.
     [[nodiscard]] std::unique_ptr<Deployment> build() const;
 
    private:
@@ -127,8 +133,8 @@ class Deployment {
   Deployment& operator=(const Deployment&) = delete;
   ~Deployment();
 
-  // Starts the source and the protocol on every node (the churn schedule is
-  // armed at build()). Call once, then drive sim().run_until(...).
+  // Starts the source and the protocol stacks on every node (the churn
+  // schedule is armed at build()). Call once, then drive sim().run_until().
   void start();
 
   [[nodiscard]] sim::Simulator& sim() { return *sim_; }
@@ -145,7 +151,11 @@ class Deployment {
   [[nodiscard]] const stream::Player& player(std::size_t i) const {
     return *receivers_[i].player;
   }
-  [[nodiscard]] const core::HeapNode& node(std::size_t i) const { return *receivers_[i].node; }
+  [[nodiscard]] core::NodeRuntime& node(std::size_t i) { return *receivers_[i].node; }
+  [[nodiscard]] const core::NodeRuntime& node(std::size_t i) const {
+    return *receivers_[i].node;
+  }
+  [[nodiscard]] core::NodeRuntime& source_node() { return *source_node_; }
   [[nodiscard]] const net::TrafficMeter& meter(std::size_t i) const {
     return fabric_->meter(receivers_[i].info.id);
   }
@@ -155,7 +165,7 @@ class Deployment {
 
   struct Receiver {
     ReceiverInfo info;
-    std::unique_ptr<core::HeapNode> node;
+    std::unique_ptr<core::NodeRuntime> node;
     std::unique_ptr<stream::Player> player;
   };
 
@@ -166,7 +176,7 @@ class Deployment {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::NetworkFabric> fabric_;
   std::unique_ptr<membership::Directory> directory_;
-  std::unique_ptr<core::HeapNode> source_node_;
+  std::unique_ptr<core::NodeRuntime> source_node_;
   std::unique_ptr<stream::StreamSource> source_;
   std::vector<Receiver> receivers_;
   bool started_ = false;

@@ -51,6 +51,7 @@ void Experiment::run() {
                     .population(config_.population_plan())
                     .stream(config_.stream_plan())
                     .churn(config_.churn_plan())
+                    .node_factory(config_.node_factory)
                     .build();
   deployment_->start();
 

@@ -59,6 +59,10 @@ struct ExperimentConfig {
   gossip::FanoutRounding rounding = gossip::FanoutRounding::kRandomized;
   bool smart_receivers = true;
 
+  // Optional override for the protocol stack each node runs (mixed
+  // populations, instrumented stacks). Null: preset selected by `mode`.
+  Deployment::NodeFactory node_factory;
+
   std::uint64_t seed = 1;
 
   [[nodiscard]] sim::SimTime stream_end() const {
@@ -97,7 +101,7 @@ class Experiment {
   [[nodiscard]] const stream::Player& player(std::size_t i) const {
     return deployment_->player(i);
   }
-  [[nodiscard]] const core::HeapNode& node(std::size_t i) const {
+  [[nodiscard]] const core::NodeRuntime& node(std::size_t i) const {
     return deployment_->node(i);
   }
   [[nodiscard]] const net::TrafficMeter& meter(std::size_t i) const {

@@ -1,12 +1,15 @@
-// Move-only type-erased nullary callable with inline small-object storage.
+// Move-only type-erased callable with inline small-object storage.
 //
-// The event queue stores every scheduled callback in one of these. Callables
-// up to kInlineBytes that are nothrow-move-constructible live inside the
-// object itself — the common simulation callbacks (datagram delivery captures
-// ~40 bytes: a fabric pointer plus a Datagram) therefore cost zero heap
-// allocations. Larger or throwing-move callables fall back to a single heap
-// allocation, exactly like std::function — but with a 48-byte threshold
-// instead of libstdc++'s 16.
+// `BasicSmallFn<R(Args...)>` is the general template; `SmallFn` is the
+// nullary alias the event queue stores every scheduled callback in.
+// Callables up to kInlineBytes that are nothrow-move-constructible live
+// inside the object itself — the common simulation callbacks (datagram
+// delivery captures ~40 bytes: a fabric pointer plus a Datagram) therefore
+// cost zero heap allocations. Larger or throwing-move callables fall back
+// to a single heap allocation, exactly like std::function — but with a
+// 48-byte threshold instead of libstdc++'s 16. The signal bus
+// (core/signal.hpp) stores its subscribers in the non-nullary
+// instantiations, so delivery observers get the same allocation model.
 #pragma once
 
 #include <cstddef>
@@ -16,15 +19,20 @@
 
 namespace hg::sim {
 
-class SmallFn {
+template <class Sig>
+class BasicSmallFn;
+
+template <class R, class... Args>
+class BasicSmallFn<R(Args...)> {
  public:
   static constexpr std::size_t kInlineBytes = 48;
 
-  SmallFn() = default;
+  BasicSmallFn() = default;
 
   template <class F, class D = std::decay_t<F>,
-            class = std::enable_if_t<!std::is_same_v<D, SmallFn> && std::is_invocable_v<D&>>>
-  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+            class = std::enable_if_t<!std::is_same_v<D, BasicSmallFn> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  BasicSmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
     if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<D>) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
@@ -35,14 +43,14 @@ class SmallFn {
     }
   }
 
-  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+  BasicSmallFn(BasicSmallFn&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(buf_, o.buf_);
       o.ops_ = nullptr;
     }
   }
 
-  SmallFn& operator=(SmallFn&& o) noexcept {
+  BasicSmallFn& operator=(BasicSmallFn&& o) noexcept {
     if (this != &o) {
       reset();
       ops_ = o.ops_;
@@ -54,10 +62,10 @@ class SmallFn {
     return *this;
   }
 
-  SmallFn(const SmallFn&) = delete;
-  SmallFn& operator=(const SmallFn&) = delete;
+  BasicSmallFn(const BasicSmallFn&) = delete;
+  BasicSmallFn& operator=(const BasicSmallFn&) = delete;
 
-  ~SmallFn() { reset(); }
+  ~BasicSmallFn() { reset(); }
 
   void reset() {
     if (ops_ != nullptr) {
@@ -71,11 +79,11 @@ class SmallFn {
   // Whether the callable lives in the inline buffer (introspection/tests).
   [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
 
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) { return ops_->invoke(buf_, std::forward<Args>(args)...); }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     // Move-construct *src into dst, then destroy *src.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void*) noexcept;
@@ -85,7 +93,9 @@ class SmallFn {
   template <class D>
   static const Ops* inline_ops() {
     static constexpr Ops ops{
-        [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+        [](void* p, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<D*>(p)))(std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) noexcept {
           D* s = std::launder(reinterpret_cast<D*>(src));
           ::new (dst) D(std::move(*s));
@@ -100,7 +110,9 @@ class SmallFn {
   template <class D>
   static const Ops* heap_ops() {
     static constexpr Ops ops{
-        [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+        [](void* p, Args&&... args) -> R {
+          return (**std::launder(reinterpret_cast<D**>(p)))(std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) noexcept {
           ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
         },
@@ -113,5 +125,8 @@ class SmallFn {
   alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+// The event queue's callback type: nullary, void.
+using SmallFn = BasicSmallFn<void()>;
 
 }  // namespace hg::sim

@@ -1,0 +1,15 @@
+#include "stream/player_module.hpp"
+
+namespace hg::stream {
+
+PlayerModule::PlayerModule(core::NodeRuntime& runtime, Player& player) : player_(player) {
+  Player* p = &player_;
+  deliver_sub_ =
+      runtime.deliveries().subscribe([p](const gossip::Event& e) { p->on_deliver(e); });
+  request_sub_ =
+      runtime.request_gate().subscribe([p](gossip::EventId id) { return p->should_request(id); });
+  core::NodeRuntime* rt = &runtime;
+  player_.set_cancel_window([rt](std::uint32_t window) { rt->window_cancelled().emit(window); });
+}
+
+}  // namespace hg::stream

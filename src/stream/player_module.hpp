@@ -1,0 +1,30 @@
+// Signal-bus glue between a stream::Player and the node's protocol stack.
+//
+// Owns no tags: it subscribes the player to the runtime's delivery signal,
+// wires the smart-receiver request budget into the request gate, and routes
+// the player's "window decodable, stop requesting it" callback onto the
+// window_cancelled signal (which the gossip module listens to). What used
+// to be three this-bound setters threaded through a factory is now three
+// RAII subscriptions that die with the module.
+#pragma once
+
+#include "core/node_runtime.hpp"
+#include "stream/player.hpp"
+
+namespace hg::stream {
+
+class PlayerModule final : public core::Protocol {
+ public:
+  PlayerModule(core::NodeRuntime& runtime, Player& player);
+
+  [[nodiscard]] const char* name() const override { return "player"; }
+
+  [[nodiscard]] Player& player() { return player_; }
+
+ private:
+  Player& player_;
+  core::Subscription deliver_sub_;
+  core::Subscription request_sub_;
+};
+
+}  // namespace hg::stream

@@ -1,0 +1,31 @@
+// Mounts one node's leg of a StaticTree on a NodeRuntime, claiming the
+// kTreePush tag. The tree object itself spans the whole population (it
+// knows the topology); this adapter narrows it to the runtime's own id, so
+// tree/gossip hybrid stacks compose like any other module.
+#pragma once
+
+#include "core/node_runtime.hpp"
+#include "tree/static_tree.hpp"
+
+namespace hg::tree {
+
+class TreeModule final : public core::Protocol {
+ public:
+  TreeModule(core::NodeRuntime& runtime, StaticTree& tree)
+      : self_(runtime.self()),
+        tree_(tree),
+        tag_(runtime.register_tag(gossip::MsgTag::kTreePush, this)) {}
+
+  [[nodiscard]] const char* name() const override { return "tree"; }
+
+  void on_datagram(const net::Datagram& d) { tree_.on_datagram(self_, d); }
+
+  [[nodiscard]] StaticTree& tree() { return tree_; }
+
+ private:
+  NodeId self_;
+  StaticTree& tree_;
+  core::TagRegistration tag_;
+};
+
+}  // namespace hg::tree

@@ -89,8 +89,8 @@ TEST(Experiment, HeapFanoutsMatchEquationOne) {
   double avg_target = 0;
   std::size_t n = 0;
   for (std::size_t i = 0; i < exp.receivers(); ++i) {
-    auto& node = const_cast<core::HeapNode&>(exp.node(i));
-    const double target = node.fanout_policy().current_target();
+    const double target =
+        exp.node(i).module<gossip::GossipModule>().policy().current_target();
     const double expected = 7.0 * exp.info(i).capability.kbits_per_sec() / 691.0;
     EXPECT_NEAR(target, expected, expected * 0.15) << "node " << i;
     avg_target += target;
@@ -190,7 +190,7 @@ TEST(Experiment, RealPayloadsDecodeByteExact) {
                              .packet_bytes = cfg.stream.packet_bytes});
   std::size_t verified_nodes = 0;
   for (std::size_t i = 0; i < exp.receivers() && verified_nodes < 5; ++i) {
-    const auto& g = exp.node(i).gossip();
+    const auto& g = exp.node(i).module<gossip::GossipModule>().engine();
     std::vector<std::optional<std::vector<std::uint8_t>>> shards(
         cfg.stream.window_packets());
     for (std::uint16_t k = 0; k < cfg.stream.window_packets(); ++k) {
