@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "core/heap.hpp"
 #include "metrics/table.hpp"
 
@@ -60,18 +61,17 @@ inline Scale scale_from_env() {
   return s;
 }
 
+// Strict parsing (common/env.hpp): zero, negative, or garbage values abort
+// with a clear message instead of silently falling back — a typo'd
+// HG_SEEDS must not quietly produce a single-seed "sweep".
 inline std::size_t seeds_from_env() {
-  const char* env = std::getenv("HG_SEEDS");
-  if (env == nullptr) return 1;
-  const long n = std::strtol(env, nullptr, 10);
-  return n > 0 ? static_cast<std::size_t>(n) : 1;
+  return static_cast<std::size_t>(env_int_or("HG_SEEDS", 1, 1, 100000));
 }
 
 inline std::size_t threads_from_env() {
-  const char* env = std::getenv("HG_THREADS");
-  if (env == nullptr) return 0;  // SweepRunner: hardware concurrency
-  const long n = std::strtol(env, nullptr, 10);
-  return n > 0 ? static_cast<std::size_t>(n) : 0;
+  // Unset = 0 = SweepRunner picks hardware concurrency; an explicit value
+  // must be a positive worker count.
+  return static_cast<std::size_t>(env_int_or("HG_THREADS", 0, 1, 4096));
 }
 
 inline scenario::ExperimentConfig base_config(const Scale& s, core::Mode mode,
@@ -93,6 +93,18 @@ inline scenario::ExperimentConfig base_config(const Scale& s, core::Mode mode,
 // BENCH_*.json emission
 // ---------------------------------------------------------------------------
 
+// Opens BENCH_<binary>.json for writing under the shared env contract:
+// HG_BENCH_JSON=0 disables (returns nullptr), HG_BENCH_JSON_DIR overrides
+// the output directory (default cwd). Caller fcloses.
+inline std::FILE* open_bench_json() {
+  const char* toggle = std::getenv("HG_BENCH_JSON");
+  if (toggle != nullptr && std::strcmp(toggle, "0") == 0) return nullptr;
+  std::string dir = ".";
+  if (const char* d = std::getenv("HG_BENCH_JSON_DIR"); d != nullptr && *d != '\0') dir = d;
+  const std::string path = dir + "/BENCH_" + bench_binary_name() + ".json";
+  return std::fopen(path.c_str(), "w");
+}
+
 struct JsonRun {
   std::string label;
   std::string mode;
@@ -113,12 +125,8 @@ class JsonReport {
   void record(JsonRun run) { runs_.push_back(std::move(run)); }
 
   ~JsonReport() {
-    const char* toggle = std::getenv("HG_BENCH_JSON");
-    if (runs_.empty() || (toggle != nullptr && std::strcmp(toggle, "0") == 0)) return;
-    std::string dir = ".";
-    if (const char* d = std::getenv("HG_BENCH_JSON_DIR"); d != nullptr && *d != '\0') dir = d;
-    const std::string path = dir + "/BENCH_" + bench_binary_name() + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (runs_.empty()) return;
+    std::FILE* f = open_bench_json();
     if (f == nullptr) return;
 
     double total_wall = 0.0;

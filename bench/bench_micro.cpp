@@ -383,12 +383,12 @@ void BM_WirePathPooledServeMix(benchmark::State& state) {
   sim::SimTime now = sim::SimTime::zero();
   std::uint64_t sink = 0;
   std::int64_t t = 1;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  std::vector<gossip::ServeSpan> spans;
   for (auto _ : state) {
     // Sender: the production batching path — one pooled buffer per request.
     const net::BufferRef all = gossip::encode_serve_batch(NodeId{1}, store, spans);
     // Wire: one delivery event per datagram; receiver decodes zero-copy.
-    for (const auto& [off, len] : spans) {
+    for (const auto& [off, len, phantom] : spans) {
       q.schedule_fire_and_forget(
           sim::SimTime::us(t++), [slice = all.slice(off, len), &sink]() {
             const auto msg = gossip::decode_serve(slice);

@@ -58,6 +58,26 @@ void FreshnessAggregator::on_datagram(const net::Datagram& d) {
   if (!msg) return;
   for (const gossip::CapabilityRecord& rec : msg->records) {
     if (rec.origin == self_) continue;  // own value is authoritative locally
+    if (config_.max_records > 0 && !records_.contains(rec.origin) &&
+        records_.size() >= config_.max_records) {
+      // Table full: the stalest record loses. A full scan per eviction is
+      // fine (the cap is small) and — unlike "evict first in iteration
+      // order" — independent of the hash table's bucket layout, keeping
+      // runs deterministic. Ties break toward the larger origin id.
+      auto stalest = records_.begin();
+      for (auto it = records_.begin(); it != records_.end(); ++it) {
+        if (it->second.measured_at < stalest->second.measured_at ||
+            (it->second.measured_at == stalest->second.measured_at &&
+             it->first.value() > stalest->first.value())) {
+          stalest = it;
+        }
+      }
+      if (stalest->second.measured_at >= rec.measured_at) {
+        ++stats_.records_stale_dropped;
+        continue;  // the incoming record is the stalest of them all
+      }
+      records_.erase(stalest);
+    }
     auto [it, inserted] = records_.try_emplace(rec.origin);
     if (!inserted && it->second.measured_at >= rec.measured_at) {
       ++stats_.records_stale_dropped;

@@ -38,6 +38,12 @@ struct AggregationConfig {
   std::size_t records_per_gossip = 10;  // "the 10 freshest values"
   std::size_t fanout = 1;               // partners per period (see cost note)
   sim::SimTime record_expiry = sim::SimTime::sec(30.0);
+  // Cap on tracked origins (0 = unlimited, the paper's behaviour). At 100k
+  // nodes an uncapped table converges on every-origin-everywhere — O(N) per
+  // node — while the b̄ estimate needs only a running sample of the
+  // population; when full, a new origin evicts the stalest record (ties
+  // broken by origin id) or is dropped if it is the stalest itself.
+  std::size_t max_records = 0;
 };
 
 class FreshnessAggregator final : public CapabilityEstimator {

@@ -33,6 +33,8 @@ Protocol& NodeRuntime::add_module(std::unique_ptr<Protocol> module) {
 TagRegistration NodeRuntime::register_handler(gossip::MsgTag tag, void* ctx,
                                               DatagramHandler handler) {
   HG_ASSERT(handler != nullptr);
+  HG_ASSERT_MSG(static_cast<std::uint8_t>(tag) < kTagTableSize,
+                "tag beyond the dispatch table: raise NodeRuntime::kTagTableSize");
   Handler& slot = handlers_[static_cast<std::uint8_t>(tag)];
   HG_ASSERT_MSG(slot.fn == nullptr, "duplicate tag registration: two modules claim one tag");
   slot = Handler{handler, ctx};
@@ -72,8 +74,8 @@ void NodeRuntime::attach(BitRate upload_capacity) {
 }
 
 void NodeRuntime::on_datagram(const net::Datagram& d) {
-  const Handler handler =
-      d.bytes.empty() ? Handler{} : handlers_[d.bytes.data()[0]];
+  const std::uint8_t tag = d.bytes.empty() ? 0xff : d.bytes.data()[0];
+  const Handler handler = tag < kTagTableSize ? handlers_[tag] : Handler{};
   if (handler.fn == nullptr) {
     ++stats_.unknown_tag_datagrams;
     HG_LOG_DEBUG("node %u: dropping datagram with unknown tag %u from node %u", self_.value(),

@@ -35,6 +35,12 @@ struct GossipConfig {
   // Keep at most this many distinct proposers per event as retransmission
   // fallbacks.
   std::size_t max_proposers_tracked = 8;
+
+  // Large-scale runs: serves carry declared payload sizes instead of bytes
+  // (see gossip::Event). Must match StreamConfig::virtual_payloads and be
+  // uniform across the deployment — the flag selects the serve framing both
+  // when encoding and when decoding.
+  bool virtual_payloads = false;
 };
 
 }  // namespace hg::gossip

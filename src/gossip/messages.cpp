@@ -47,7 +47,9 @@ net::BufferRef encode(const ProposeMsg& m) { return encode_propose(m.sender, m.i
 net::BufferRef encode(const RequestMsg& m) { return encode_request(m.sender, m.ids); }
 
 std::size_t encoded_serve_size(const Event& event) {
-  // tag + sender + id + payload length varint + payload bytes.
+  // tag + sender + id + payload length varint + payload bytes. For a
+  // virtual payload the bytes are phantom (never stored), but they are part
+  // of the serve's *wire* size all the same.
   const std::size_t n = event.payload_size();
   std::size_t varint_len = 1;
   for (std::uint64_t v = n; v >= 0x80; v >>= 7) ++varint_len;
@@ -58,7 +60,13 @@ void encode_serve_into(net::ByteWriter& w, NodeId sender, const Event& event) {
   w.u8(static_cast<std::uint8_t>(MsgTag::kServe));
   w.u32(sender.value());
   w.u64(event.id.raw());
-  w.bytes(event.payload.bytes());
+  if (event.virtual_payload()) {
+    // Declared length, no bytes: the datagram carries the difference as
+    // phantom wire bytes (see Datagram::phantom_bytes).
+    w.varint(event.virtual_size);
+  } else {
+    w.bytes(event.payload.bytes());
+  }
 }
 
 net::BufferRef encode(const ServeMsg& m) {
@@ -68,15 +76,18 @@ net::BufferRef encode(const ServeMsg& m) {
 }
 
 net::BufferRef encode_serve_batch(NodeId sender, std::span<const Event> events,
-                                  std::vector<std::pair<std::uint32_t, std::uint32_t>>& spans) {
+                                  std::vector<ServeSpan>& spans) {
   std::size_t total = 0;
-  for (const Event& e : events) total += encoded_serve_size(e);
+  for (const Event& e : events) {
+    total += encoded_serve_size(e) - (e.virtual_payload() ? e.virtual_size : 0);
+  }
   net::ByteWriter w(total);
   spans.clear();
   for (const Event& e : events) {
     const auto begin = static_cast<std::uint32_t>(w.size());
     encode_serve_into(w, sender, e);
-    spans.emplace_back(begin, static_cast<std::uint32_t>(w.size()) - begin);
+    spans.push_back(ServeSpan{begin, static_cast<std::uint32_t>(w.size()) - begin,
+                              e.virtual_payload() ? e.virtual_size : 0});
   }
   return w.finish();
 }
@@ -148,8 +159,22 @@ std::optional<RequestMsg> decode_request(std::span<const std::uint8_t> buf) {
   return m;
 }
 
-std::optional<ServeMsg> decode_serve(const net::BufferRef& buf) {
+std::optional<ServeMsg> decode_serve(const net::BufferRef& buf, bool virtual_payloads) {
   ServeMsg m;
+  if (virtual_payloads) {
+    net::ByteReader r(buf.bytes());
+    if (!read_header(r, MsgTag::kServe, m.sender)) return std::nullopt;
+    const auto raw = r.u64();
+    if (!raw) return std::nullopt;
+    m.event.id = EventId::from_raw(*raw);
+    const auto declared = r.varint();
+    // The declared length must fit virtual_size, and no payload bytes may
+    // actually follow — a real-payload serve in a virtual deployment is a
+    // framing bug, not a loss event we can shrug off.
+    if (!declared || *declared > 0xffffffffULL || !r.exhausted()) return std::nullopt;
+    m.event.virtual_size = static_cast<std::uint32_t>(*declared);
+    return m;
+  }
   std::span<const std::uint8_t> payload;
   if (!parse_serve(buf.bytes(), m, payload)) return std::nullopt;
   // Zero copy: the payload keeps the arrival buffer alive via the slice.

@@ -72,11 +72,23 @@ namespace hg::gossip {
 // slice — fan-out to many peers and storage for later serves never copy it,
 // and a payload decoded from a serve pins the arrival buffer instead of
 // copying out of it.
+//
+// Virtual payloads (large-scale simulation): an event may instead carry only
+// a declared payload *size*. Serve datagrams of such events ship the header
+// alone and account the missing bytes as phantom wire bytes, so every
+// timing-relevant quantity (upload serialization, queueing, traffic meters)
+// is bit-identical to a real payload of that size — while a 100k-node run
+// stores no payload bytes at all. Whether a deployment runs virtual is a
+// GossipConfig/StreamConfig decision applied uniformly to every node.
 struct Event {
   EventId id;
   net::BufferRef payload;
+  std::uint32_t virtual_size = 0;  // payload bytes represented but not stored
 
-  [[nodiscard]] std::size_t payload_size() const { return payload.size(); }
+  [[nodiscard]] bool virtual_payload() const { return !payload && virtual_size > 0; }
+  [[nodiscard]] std::size_t payload_size() const {
+    return payload ? payload.size() : virtual_size;
+  }
 };
 
 struct ProposeMsg {
@@ -126,24 +138,37 @@ struct AggregationMsg {
 [[nodiscard]] net::BufferRef encode_propose(NodeId sender, std::span<const EventId> ids);
 [[nodiscard]] net::BufferRef encode_request(NodeId sender, std::span<const EventId> ids);
 
-// Exact wire size of one serve of `event`, and the batched-serve building
-// block: appends a complete, standalone ServeMsg encoding to `w`, so a
-// slice of the finished buffer is bit-identical to encode(ServeMsg{...}).
+// Exact wire size of one serve of `event` (virtual payload bytes included:
+// this is what the datagram *accounts*, not what the buffer stores), and the
+// batched-serve building block: appends a complete, standalone ServeMsg
+// encoding to `w`, so a slice of the finished buffer is bit-identical to
+// encode(ServeMsg{...}).
 [[nodiscard]] std::size_t encoded_serve_size(const Event& event);
 void encode_serve_into(net::ByteWriter& w, NodeId sender, const Event& event);
 
+// One batched-serve datagram: a slice of the shared buffer plus the phantom
+// byte count a virtual payload adds to its wire size (0 for real payloads).
+struct ServeSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  std::uint32_t phantom_bytes = 0;
+};
+
 // The batched serve: all of `events` encoded back-to-back into one pooled
-// buffer. `spans` (cleared first) receives each event's (offset, length);
-// every slice of the result at a span is a standalone serve datagram.
-[[nodiscard]] net::BufferRef encode_serve_batch(
-    NodeId sender, std::span<const Event> events,
-    std::vector<std::pair<std::uint32_t, std::uint32_t>>& spans);
+// buffer. `spans` (cleared first) receives each event's span; every slice of
+// the result at a span is a standalone serve datagram.
+[[nodiscard]] net::BufferRef encode_serve_batch(NodeId sender, std::span<const Event> events,
+                                                std::vector<ServeSpan>& spans);
 
 [[nodiscard]] std::optional<MsgTag> peek_tag(std::span<const std::uint8_t> buf);
 [[nodiscard]] std::optional<ProposeMsg> decode_propose(std::span<const std::uint8_t> buf);
 [[nodiscard]] std::optional<RequestMsg> decode_request(std::span<const std::uint8_t> buf);
 // Zero-copy: the decoded payload is a slice pinning `buf`'s backing chunk.
-[[nodiscard]] std::optional<ServeMsg> decode_serve(const net::BufferRef& buf);
+// `virtual_payloads` selects the deployment's serve framing: with it set,
+// the payload length is declared but no bytes follow, and the decoded event
+// carries virtual_size instead of a payload slice.
+[[nodiscard]] std::optional<ServeMsg> decode_serve(const net::BufferRef& buf,
+                                                   bool virtual_payloads = false);
 // Copying overload for callers without a pooled buffer (tests, fuzzing).
 [[nodiscard]] std::optional<ServeMsg> decode_serve(std::span<const std::uint8_t> buf);
 [[nodiscard]] std::optional<AggregationMsg> decode_aggregation(

@@ -88,7 +88,7 @@ void ThreePhaseGossip::on_datagram(const net::Datagram& d) {
     }
     case MsgTag::kServe: {
       // Zero copy: the decoded payload is a slice of the arrival buffer.
-      if (auto m = decode_serve(d.bytes)) {
+      if (auto m = decode_serve(d.bytes, config_.virtual_payloads)) {
         on_serve(*m);
       } else {
         ++stats_.malformed;
@@ -153,8 +153,9 @@ void ThreePhaseGossip::on_request(const RequestMsg& m) {
   if (serve_events_scratch_.empty()) return;
   const net::BufferRef batch =
       encode_serve_batch(self_, serve_events_scratch_, serve_spans_scratch_);
-  for (const auto& [off, len] : serve_spans_scratch_) {
-    fabric_.send(self_, m.sender, net::MsgClass::kServe, batch.slice(off, len));
+  for (const ServeSpan& span : serve_spans_scratch_) {
+    fabric_.send(self_, m.sender, net::MsgClass::kServe, batch.slice(span.offset, span.length),
+                 span.phantom_bytes);
     ++stats_.serves_sent;
   }
   if (serve_events_scratch_.size() > 1) ++stats_.serve_batches;

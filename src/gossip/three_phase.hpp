@@ -135,7 +135,7 @@ class ThreePhaseGossip {
   // allocations (the pooled buffers carry the bytes; these carry indices).
   std::vector<EventId> wanted_scratch_;
   std::vector<Event> serve_events_scratch_;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> serve_spans_scratch_;
+  std::vector<ServeSpan> serve_spans_scratch_;
   Stats stats_;
 };
 

@@ -31,12 +31,7 @@ void Directory::kill(NodeId id) {
     // Look the view up again at fire time: it may have been destroyed (its
     // owner torn down) while the detection event was pending.
     sim_.after_fire_and_forget(delay, [this, observer, id]() {
-      for (LocalView* v : views_) {
-        if (v->owner() == observer) {
-          v->mark_dead(id);
-          return;
-        }
-      }
+      if (LocalView* v = view_of(observer)) v->mark_dead(id);
     });
   }
 }
@@ -45,27 +40,70 @@ std::unique_ptr<LocalView> Directory::make_view(NodeId owner) {
   return std::unique_ptr<LocalView>(new LocalView(this, owner));
 }
 
-void Directory::register_view(LocalView* view) { views_.push_back(view); }
+void Directory::register_view(LocalView* view) {
+  views_.push_back(view);
+  const std::size_t owner = view->owner().value();
+  if (view_by_owner_.size() <= owner) view_by_owner_.resize(owner + 1, nullptr);
+  view_by_owner_[owner] = view;
+}
 
 void Directory::unregister_view(LocalView* view) {
   views_.erase(std::remove(views_.begin(), views_.end(), view), views_.end());
+  const std::size_t owner = view->owner().value();
+  if (owner < view_by_owner_.size() && view_by_owner_[owner] == view) {
+    view_by_owner_[owner] = nullptr;
+  }
 }
 
-LocalView::LocalView(Directory* dir, NodeId owner) : dir_(dir), owner_(owner) {
-  positions_.assign(dir_->size(), kNpos);
-  members_.reserve(dir_->size());
-  for (std::uint32_t i = 0; i < dir_->size(); ++i) {
-    const NodeId id{i};
-    if (id == owner_ || !dir_->alive(id)) continue;
-    positions_[i] = static_cast<std::uint32_t>(members_.size());
-    members_.push_back(id);
+LocalView* Directory::view_of(NodeId owner) const {
+  return owner.value() < view_by_owner_.size() ? view_by_owner_[owner.value()] : nullptr;
+}
+
+LocalView::LocalView(Directory* dir, NodeId owner)
+    : dir_(dir), owner_(owner), snapshot_size_(dir->size()) {
+  const bool owner_counted = owner_.value() < snapshot_size_ && dir_->alive(owner_);
+  believed_ = dir_->alive_count() - (owner_counted ? 1 : 0);
+  if (believed_ + 1 < snapshot_size_ || !owner_counted) {
+    // Someone is already dead (or the owner is not a directory member): the
+    // implicit identity mapping does not hold, so snapshot eagerly.
+    materialize();
   }
   dir_->register_view(this);
 }
 
 LocalView::~LocalView() { dir_->unregister_view(this); }
 
+void LocalView::materialize() {
+  materialized_ = true;
+  positions_.assign(snapshot_size_, kNpos);
+  members_.clear();
+  members_.reserve(believed_);
+  for (std::uint32_t i = 0; i < snapshot_size_; ++i) {
+    const NodeId id{i};
+    if (id == owner_ || !dir_->alive(id)) continue;
+    positions_[i] = static_cast<std::uint32_t>(members_.size());
+    members_.push_back(id);
+  }
+  believed_ = members_.size();
+}
+
 void LocalView::mark_dead(NodeId id) {
+  if (id == owner_ || id.value() >= snapshot_size_) return;
+  if (!materialized_) {
+    // First detected death: switch from the implicit mapping to a private
+    // array. Everything this view believes alive is, by construction of the
+    // lazy representation, exactly "all snapshot ids except the owner" — the
+    // directory's current alive set must not leak in here (other deaths may
+    // still be undetected by this view), so fill from the id range directly.
+    materialized_ = true;
+    positions_.resize(snapshot_size_);
+    members_.resize(snapshot_size_ - 1);
+    for (std::size_t i = 0; i + 1 < snapshot_size_; ++i) {
+      members_[i] = implicit_member(i);
+      positions_[members_[i].value()] = static_cast<std::uint32_t>(i);
+    }
+    positions_[owner_.value()] = kNpos;
+  }
   const std::uint32_t pos = positions_[id.value()];
   if (pos == kNpos) return;
   // Swap-remove keeps select_nodes O(k).
@@ -74,17 +112,25 @@ void LocalView::mark_dead(NodeId id) {
   positions_[last.value()] = pos;
   members_.pop_back();
   positions_[id.value()] = kNpos;
+  believed_ = members_.size();
 }
 
 void LocalView::select_nodes(std::size_t k, std::vector<NodeId>& out, Rng& rng) {
   out.clear();
-  const std::size_t avail = members_.size();
+  const std::size_t avail = believed_;
   const std::size_t take = std::min(k, avail);
   if (take == 0) return;
   scratch_.clear();
   rng.sample_indices(avail, take, scratch_);
   out.reserve(take);
-  for (auto idx : scratch_) out.push_back(members_[idx]);
+  if (materialized_) {
+    for (auto idx : scratch_) out.push_back(members_[idx]);
+  } else {
+    // Index order in the lazy mapping equals the id order the eager snapshot
+    // used to build members_, so the same sampled indices yield the same
+    // peers — representations are interchangeable mid-run.
+    for (auto idx : scratch_) out.push_back(implicit_member(idx));
+  }
 }
 
 }  // namespace hg::membership

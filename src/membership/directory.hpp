@@ -50,16 +50,29 @@ class Directory {
   friend class LocalView;
   void register_view(LocalView* view);
   void unregister_view(LocalView* view);
+  [[nodiscard]] LocalView* view_of(NodeId owner) const;
 
   sim::Simulator& sim_;
   DetectionConfig detection_;
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
+  // Registration order (kill() draws per-observer detection delays in this
+  // order — part of the deterministic contract) plus a dense owner-id index
+  // so a detection event resolves its view in O(1), not O(views).
   std::vector<LocalView*> views_;
+  std::vector<LocalView*> view_by_owner_;
   Rng rng_;
 };
 
 // A node's (possibly stale) view of the membership.
+//
+// Storage is copy-on-write against the shared directory. A freshly built
+// view over an all-alive population is the identity mapping "index i -> i-th
+// node id, skipping the owner" and stores nothing — the 100k-node case
+// (100k views x 100k peers) would otherwise cost O(N^2) memory just for
+// snapshots. Only when a view first *detects* a death does it materialize a
+// private peer array and fall back to the classic swap-remove bookkeeping;
+// selection order and RNG consumption are identical in both representations.
 class LocalView {
  public:
   ~LocalView();
@@ -72,7 +85,7 @@ class LocalView {
   void select_nodes(std::size_t k, std::vector<NodeId>& out, Rng& rng);
 
   // Number of peers the view believes alive (excluding owner).
-  [[nodiscard]] std::size_t believed_peers() const { return members_.size(); }
+  [[nodiscard]] std::size_t believed_peers() const { return believed_; }
 
   [[nodiscard]] NodeId owner() const { return owner_; }
 
@@ -80,12 +93,25 @@ class LocalView {
   // also usable directly by tests).
   void mark_dead(NodeId id);
 
+  // True once this view holds a private peer array (introspection/tests).
+  [[nodiscard]] bool materialized() const { return materialized_; }
+
  private:
   friend class Directory;
   LocalView(Directory* dir, NodeId owner);
 
+  // The implicit all-alive-except-owner mapping of the lazy representation.
+  [[nodiscard]] NodeId implicit_member(std::size_t index) const {
+    const auto i = static_cast<std::uint32_t>(index);
+    return NodeId{i < owner_.value() ? i : i + 1};
+  }
+  void materialize();
+
   Directory* dir_;
   NodeId owner_;
+  std::size_t snapshot_size_;            // directory size when the view was built
+  std::size_t believed_;                 // peers this view believes alive
+  bool materialized_ = false;
   std::vector<NodeId> members_;          // believed-alive peers, order arbitrary
   std::vector<std::uint32_t> positions_; // node id -> index in members_, or npos
   std::vector<std::uint32_t> scratch_;   // avoids per-call allocation

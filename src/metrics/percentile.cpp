@@ -15,6 +15,7 @@ void Samples::ensure_sorted() const {
 }
 
 double Samples::mean() const {
+  if (sketch_) return sketch_->mean();
   HG_ASSERT(!values_.empty());
   double sum = 0;
   for (double v : values_) sum += v;
@@ -22,6 +23,7 @@ double Samples::mean() const {
 }
 
 double Samples::stddev() const {
+  if (sketch_) return sketch_->stddev();
   HG_ASSERT(!values_.empty());
   const double m = mean();
   double acc = 0;
@@ -30,18 +32,21 @@ double Samples::stddev() const {
 }
 
 double Samples::min() const {
+  if (sketch_) return sketch_->min();
   ensure_sorted();
   HG_ASSERT(!values_.empty());
   return values_.front();
 }
 
 double Samples::max() const {
+  if (sketch_) return sketch_->max();
   ensure_sorted();
   HG_ASSERT(!values_.empty());
   return values_.back();
 }
 
 double Samples::percentile(double q) const {
+  if (sketch_) return sketch_->percentile(q);
   ensure_sorted();
   HG_ASSERT(!values_.empty());
   HG_ASSERT(q >= 0.0 && q <= 100.0);
@@ -54,10 +59,16 @@ double Samples::percentile(double q) const {
 }
 
 double Samples::fraction_at_most(double threshold) const {
+  if (sketch_) return sketch_->fraction_at_most(threshold);
   ensure_sorted();
   if (values_.empty()) return 0.0;
   const auto it = std::upper_bound(values_.begin(), values_.end(), threshold);
   return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+const std::vector<double>& Samples::values() const {
+  HG_ASSERT_MSG(!sketch_, "streaming Samples do not retain raw values");
+  return values_;
 }
 
 }  // namespace hg::metrics

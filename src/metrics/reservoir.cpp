@@ -1,0 +1,134 @@
+#include "metrics/reservoir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hg::metrics {
+
+QuantileReservoir::QuantileReservoir(std::size_t buffer_elems)
+    : capacity_(buffer_elems < 8 ? 8 : buffer_elems) {
+  levels_.emplace_back();
+  levels_[0].reserve(capacity_);
+  take_odd_.push_back(false);
+}
+
+void QuantileReservoir::add(double v) {
+  HG_ASSERT_MSG(!std::isnan(v), "NaN sample");
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (v - mean_);
+
+  levels_[0].push_back(v);
+  scratch_valid_ = false;
+  if (levels_[0].size() >= capacity_) collapse_level(0);
+}
+
+void QuantileReservoir::collapse_level(std::size_t level) {
+  if (levels_.size() == level + 1) {
+    // Grow the level ladder *before* taking references: emplace_back can
+    // reallocate levels_ out from under them.
+    levels_.emplace_back();
+    levels_[level + 1].reserve(capacity_);
+    take_odd_.push_back(false);
+  }
+  std::vector<double>& src = levels_[level];
+  if (level == 0) {
+    std::sort(src.begin(), src.end());
+  }
+  std::vector<double>& dst = levels_[level + 1];
+  // Keep every second element; the surviving offset alternates per collapse
+  // so neither the low nor the high tail is systematically dropped. This is
+  // the deterministic stand-in for the classic random offset.
+  const std::size_t start = take_odd_[level] ? 1 : 0;
+  take_odd_[level] = !take_odd_[level];
+  const std::size_t old_dst = dst.size();
+  for (std::size_t i = start; i < src.size(); i += 2) dst.push_back(src[i]);
+  src.clear();
+  // Higher levels stay sorted: merge the appended run in place.
+  std::inplace_merge(dst.begin(), dst.begin() + static_cast<std::ptrdiff_t>(old_dst),
+                     dst.end());
+  if (dst.size() >= capacity_) collapse_level(level + 1);
+}
+
+std::size_t QuantileReservoir::retained() const {
+  std::size_t n = 0;
+  for (const auto& l : levels_) n += l.size();
+  return n;
+}
+
+double QuantileReservoir::mean() const {
+  HG_ASSERT(count_ > 0);
+  return mean_;
+}
+
+double QuantileReservoir::stddev() const {
+  HG_ASSERT(count_ > 0);
+  return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+double QuantileReservoir::min() const {
+  HG_ASSERT(count_ > 0);
+  return min_;
+}
+
+double QuantileReservoir::max() const {
+  HG_ASSERT(count_ > 0);
+  return max_;
+}
+
+void QuantileReservoir::gather() const {
+  if (scratch_valid_) return;
+  scratch_.clear();
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    const std::uint64_t weight = std::uint64_t{1} << level;
+    for (double v : levels_[level]) scratch_.emplace_back(v, weight);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_valid_ = true;
+}
+
+double QuantileReservoir::percentile(double q) const {
+  HG_ASSERT(count_ > 0);
+  HG_ASSERT(q >= 0.0 && q <= 100.0);
+  // The extremes are tracked exactly; a collapse may have dropped the
+  // retained copy of either, so answer them from the accumulators (keeps
+  // the exact-mode guarantee percentile(0) == min, percentile(100) == max).
+  if (q == 0.0) return min_;
+  if (q == 100.0) return max_;
+  gather();
+  // Total retained weight can differ slightly from count_ (the level-0
+  // buffer holds full-weight samples); rank against the retained total so
+  // q = 100 always lands on the last element.
+  std::uint64_t total = 0;
+  for (const auto& [v, w] : scratch_) total += w;
+  const double target = q / 100.0 * static_cast<double>(total - 1);
+  std::uint64_t cum = 0;
+  for (const auto& [v, w] : scratch_) {
+    cum += w;
+    if (static_cast<double>(cum - 1) >= target) return v;
+  }
+  return scratch_.back().first;
+}
+
+double QuantileReservoir::fraction_at_most(double threshold) const {
+  if (count_ == 0) return 0.0;
+  gather();
+  std::uint64_t total = 0;
+  std::uint64_t at_most = 0;
+  for (const auto& [v, w] : scratch_) {
+    total += w;
+    if (v <= threshold) at_most += w;
+  }
+  return static_cast<double>(at_most) / static_cast<double>(total);
+}
+
+}  // namespace hg::metrics

@@ -1,0 +1,72 @@
+// Fixed-memory streaming quantile reservoir.
+//
+// A deterministic MRL-style collapsing-buffer sketch (Manku, Rajagopalan,
+// Lindsay): samples land in an unsorted level-0 buffer; a full buffer is
+// sorted and *collapsed* — every second element survives, promoted one level
+// up, where each element represents 2x the weight. Collapsing alternates the
+// surviving offset per level instead of randomizing it, so the sketch is a
+// pure function of the input sequence — no RNG, bit-identical regardless of
+// thread count, and mergeable in deterministic order.
+//
+// Rank queries (percentile / fraction_at_most) are approximate with error
+// O(log(n/k)/k) in rank; count/mean/stddev/min/max are exact running
+// accumulators. Memory is O(k log(n/k)) doubles regardless of how many
+// samples stream through — the whole point at 100k+ nodes, where exact
+// sample hoarding in every report builder is what pins a run's memory to
+// the population size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hg::metrics {
+
+class QuantileReservoir {
+ public:
+  // `buffer_elems` is the per-level capacity k: larger k = lower rank error
+  // and more memory. The default keeps worst-case rank error well under one
+  // percentile point for hundreds of millions of samples.
+  explicit QuantileReservoir(std::size_t buffer_elems = 2048);
+
+  void add(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  // Exact (running accumulators, independent of the sketch).
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  // Approximate rank queries. `q` in [0, 100]; empty reservoir asserts,
+  // matching exact Samples.
+  [[nodiscard]] double percentile(double q) const;
+  // Fraction of samples <= threshold; 0.0 when empty (matching Samples).
+  [[nodiscard]] double fraction_at_most(double threshold) const;
+
+  // Elements currently held across all levels (introspection/tests).
+  [[nodiscard]] std::size_t retained() const;
+
+ private:
+  void collapse_level(std::size_t level);
+  // Materializes the weighted sorted view of all levels into scratch_.
+  void gather() const;
+
+  std::size_t capacity_;
+  // levels_[0] is unsorted; higher levels are sorted ascending. An element
+  // of levels_[i] has weight 2^i.
+  std::vector<std::vector<double>> levels_;
+  std::vector<bool> take_odd_;  // per-level alternating collapse offset
+
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  mutable std::vector<std::pair<double, std::uint64_t>> scratch_;  // (value, weight)
+  mutable bool scratch_valid_ = false;
+};
+
+}  // namespace hg::metrics

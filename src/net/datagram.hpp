@@ -35,9 +35,14 @@ struct Datagram {
   // fanned out to f targets is encoded once, and a batched serve round
   // shares one buffer across all of its per-event datagrams.
   BufferRef bytes;
+  // Bytes this datagram represents on the wire beyond what `bytes` stores —
+  // the payload of a virtual-payload serve (large-scale runs). Phantom bytes
+  // count toward every timing and accounting path (upload serialization,
+  // traffic meters), so a virtual run's clock is bit-identical to a real one.
+  std::int64_t phantom_bytes = 0;
 
   [[nodiscard]] std::int64_t wire_bytes() const {
-    return static_cast<std::int64_t>(bytes.size()) + kUdpIpOverheadBytes;
+    return static_cast<std::int64_t>(bytes.size()) + phantom_bytes + kUdpIpOverheadBytes;
   }
 };
 

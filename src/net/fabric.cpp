@@ -15,55 +15,72 @@ NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyM
   HG_ASSERT(loss_ != nullptr);
 }
 
-void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive) {
-  HG_ASSERT_MSG(id.value() == entries_.size(),
-                "register nodes with consecutive ids from 0 (entry() indexes by id)");
-  Entry e;
-  e.receive = std::move(receive);
-  e.link = std::make_unique<UploadLink>(sim_, upload_capacity, config_.discipline,
-                                        [this](Datagram&& d) { on_wire(std::move(d)); });
-  entries_.push_back(std::move(e));
+NetworkFabric::Shard::Shard() {
+  // Reserve up front: UploadLink addresses must never move (pending transmit
+  // events point at them), and SoA vectors must not reallocate mid-run.
+  links.reserve(kShardSize);
+  receive.reserve(kShardSize);
+  meters.reserve(kShardSize);
+  alive.reserve(kShardSize);
 }
 
-void NetworkFabric::send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes) {
+void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive) {
+  HG_ASSERT_MSG(id.value() == node_count_,
+                "register nodes with consecutive ids from 0 (shards index by id)");
+  if (id.value() / kShardSize == shards_.size()) shards_.push_back(std::make_unique<Shard>());
+  Shard& s = *shards_.back();
+  s.links.emplace_back(sim_, upload_capacity, config_.discipline,
+                       [this](Datagram&& d) { on_wire(std::move(d)); });
+  s.receive.push_back(std::move(receive));
+  s.meters.emplace_back();
+  s.alive.push_back(1);
+  ++node_count_;
+}
+
+void NetworkFabric::send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes,
+                         std::int64_t phantom_bytes) {
   HG_ASSERT_MSG(static_cast<bool>(bytes), "send requires an encoded message");
-  Entry& s = entry(src);
-  if (!s.alive) return;
+  HG_ASSERT(phantom_bytes >= 0);
+  Shard& s = shard(src);
+  const std::size_t i = index_in_shard(src);
+  if (s.alive[i] == 0) return;
   HG_ASSERT_MSG(src != dst, "self-sends indicate a peer-selection bug");
-  Datagram d{src, dst, cls, std::move(bytes)};
-  s.meter.on_offered(cls, d.wire_bytes());
-  s.link->enqueue(std::move(d));
+  Datagram d{src, dst, cls, std::move(bytes), phantom_bytes};
+  s.meters[i].on_offered(cls, d.wire_bytes());
+  s.links[i].enqueue(std::move(d));
 }
 
 void NetworkFabric::on_wire(Datagram&& d) {
   // The datagram has fully left the sender: this is what "used upload
   // bandwidth" means (Fig. 4), loss or not.
-  entry(d.src).meter.on_sent(d.cls, d.wire_bytes());
+  shard(d.src).meters[index_in_shard(d.src)].on_sent(d.cls, d.wire_bytes());
   // Loss is evaluated when the datagram leaves the sender.
   if (loss_->lost(d.src, d.dst, rng_)) {
     ++lost_;
-    entry(d.src).meter.on_dropped_in_flight(d.wire_bytes());
+    shard(d.src).meters[index_in_shard(d.src)].on_dropped_in_flight(d.wire_bytes());
     return;
   }
   const sim::SimTime delay = latency_->sample(d.src, d.dst, rng_);
   sim_.after_fire_and_forget(delay, [this, d = std::move(d)]() {
-    Entry& r = entry(d.dst);
-    if (!r.alive) return;  // crashed while in flight
+    Shard& r = shard(d.dst);
+    const std::size_t i = index_in_shard(d.dst);
+    if (r.alive[i] == 0) return;  // crashed while in flight
     ++delivered_;
-    r.meter.on_received(d.cls, d.wire_bytes());
-    if (r.receive) r.receive(d);
+    r.meters[i].on_received(d.cls, d.wire_bytes());
+    if (r.receive[i]) r.receive[i](d);
   });
 }
 
 void NetworkFabric::kill(NodeId id) {
-  Entry& e = entry(id);
-  e.alive = false;
-  e.link->shutdown();
-  e.receive = nullptr;
+  Shard& s = shard(id);
+  const std::size_t i = index_in_shard(id);
+  s.alive[i] = 0;
+  s.links[i].shutdown();
+  s.receive[i] = nullptr;
 }
 
 void NetworkFabric::set_capacity(NodeId id, BitRate capacity) {
-  entry(id).link->set_capacity(capacity);
+  link_mut(id).set_capacity(capacity);
 }
 
 }  // namespace hg::net

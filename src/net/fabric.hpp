@@ -5,6 +5,15 @@
 // the destination's receive callback — unless either endpoint has crashed.
 // Downlinks are unconstrained, matching the paper ("download capabilities
 // are much higher than upload ones"; only upload is capped).
+//
+// Storage is sharded struct-of-arrays: nodes live in fixed-capacity shards
+// of parallel vectors (alive flags, meters, upload links, receive hooks)
+// rather than one heap Entry per node. Registering node 100000 never moves
+// node 0 (UploadLink schedules events against its own address, so element
+// addresses must be stable), there is no per-node unique_ptr hop on the
+// delivery hot path, and each per-field array stays dense — the alive check
+// and meter bump of a delivery touch two small arrays instead of a scattered
+// 100-byte Entry.
 #pragma once
 
 #include <functional>
@@ -38,39 +47,56 @@ class NetworkFabric {
   // contract is enforced: registering out of order aborts.
   void register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive);
 
-  // Sends `bytes` (already-encoded message) from src to dst.
-  void send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes);
+  // Sends `bytes` (already-encoded message) from src to dst. `phantom_bytes`
+  // adds wire bytes the buffer does not store (virtual payloads).
+  void send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes,
+            std::int64_t phantom_bytes = 0);
 
   // Crash-stop: the node neither sends nor receives from now on.
   void kill(NodeId id);
-  [[nodiscard]] bool alive(NodeId id) const { return entry(id).alive; }
+  [[nodiscard]] bool alive(NodeId id) const {
+    return shard(id).alive[index_in_shard(id)] != 0;
+  }
 
   void set_capacity(NodeId id, BitRate capacity);
-  [[nodiscard]] BitRate capacity(NodeId id) const { return entry(id).link->capacity(); }
+  [[nodiscard]] BitRate capacity(NodeId id) const { return link(id).capacity(); }
 
-  [[nodiscard]] const TrafficMeter& meter(NodeId id) const { return entry(id).meter; }
-  [[nodiscard]] const UploadLink& link(NodeId id) const { return *entry(id).link; }
-  [[nodiscard]] std::size_t node_count() const { return entries_.size(); }
+  [[nodiscard]] const TrafficMeter& meter(NodeId id) const {
+    return shard(id).meters[index_in_shard(id)];
+  }
+  [[nodiscard]] const UploadLink& link(NodeId id) const {
+    return shard(id).links[index_in_shard(id)];
+  }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
 
   [[nodiscard]] std::uint64_t datagrams_lost() const { return lost_; }
   [[nodiscard]] std::uint64_t datagrams_delivered() const { return delivered_; }
 
+  // Nodes per shard. Shards are address-stable: every per-node vector inside
+  // a shard is reserved to this capacity up front and never reallocates.
+  static constexpr std::size_t kShardSize = 4096;
+
  private:
-  struct Entry {
-    std::unique_ptr<UploadLink> link;
-    ReceiveFn receive;
-    TrafficMeter meter;
-    bool alive = true;
+  struct Shard {
+    Shard();
+    std::vector<UploadLink> links;       // by value: no per-node heap object
+    std::vector<ReceiveFn> receive;
+    std::vector<TrafficMeter> meters;
+    std::vector<std::uint8_t> alive;     // hot: checked on every delivery
   };
 
-  [[nodiscard]] Entry& entry(NodeId id) {
-    HG_ASSERT(id.value() < entries_.size());
-    return entries_[id.value()];
+  [[nodiscard]] Shard& shard(NodeId id) {
+    HG_ASSERT(id.value() < node_count_);
+    return *shards_[id.value() / kShardSize];
   }
-  [[nodiscard]] const Entry& entry(NodeId id) const {
-    HG_ASSERT(id.value() < entries_.size());
-    return entries_[id.value()];
+  [[nodiscard]] const Shard& shard(NodeId id) const {
+    HG_ASSERT(id.value() < node_count_);
+    return *shards_[id.value() / kShardSize];
   }
+  [[nodiscard]] static std::size_t index_in_shard(NodeId id) {
+    return id.value() % kShardSize;
+  }
+  [[nodiscard]] UploadLink& link_mut(NodeId id) { return shard(id).links[index_in_shard(id)]; }
 
   void on_wire(Datagram&& d);
 
@@ -78,7 +104,8 @@ class NetworkFabric {
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<LossModel> loss_;
   FabricConfig config_;
-  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t node_count_ = 0;
   Rng rng_;
   std::uint64_t lost_ = 0;
   std::uint64_t delivered_ = 0;

@@ -15,22 +15,19 @@ sim::SimTime UniformLatency::sample(NodeId, NodeId, Rng& rng) {
 PlanetLabLatency::PlanetLabLatency(PlanetLabLatencyConfig cfg, Rng rng)
     : cfg_(cfg), pair_rng_(std::move(rng)) {}
 
-sim::SimTime PlanetLabLatency::base_for(NodeId src, NodeId dst) {
+sim::SimTime PlanetLabLatency::base_for(NodeId src, NodeId dst) const {
   // Symmetric, order-independent pair key: the base is derived from a hash of
   // the pair (not from a shared sequential stream), so the value is identical
-  // no matter which protocol queries first.
+  // no matter which protocol queries first — and can be recomputed on every
+  // sample instead of cached (see the class comment).
   const std::uint32_t a = std::min(src.value(), dst.value());
   const std::uint32_t b = std::max(src.value(), dst.value());
   const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
-  if (auto it = base_.find(key); it != base_.end()) return it->second;
-
   Rng pair_stream = pair_rng_.fork(key);
   const double ms = std::clamp(
       std::exp(pair_stream.normal(cfg_.log_mean_ms, cfg_.log_sigma)), cfg_.min_ms,
       cfg_.max_ms);
-  const auto base = sim::SimTime::us(static_cast<std::int64_t>(ms * 1000.0));
-  base_.emplace(key, base);
-  return base;
+  return sim::SimTime::us(static_cast<std::int64_t>(ms * 1000.0));
 }
 
 sim::SimTime PlanetLabLatency::sample(NodeId src, NodeId dst, Rng& rng) {

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -53,17 +52,21 @@ struct PlanetLabLatencyConfig {
   double jitter_max_ms = 5.0;  // uniform [0, jitter) added per packet
 };
 
+// The per-pair base is a pure function of (root rng, pair key): it is
+// re-derived on every sample instead of memoized. A 100k-node run touches
+// O(N * fanout * rounds) distinct pairs — a per-pair cache approaches N^2
+// entries (gigabytes) while the recomputation is a handful of arithmetic
+// ops, so the stateless form is both smaller and not measurably slower.
 class PlanetLabLatency final : public LatencyModel {
  public:
   PlanetLabLatency(PlanetLabLatencyConfig cfg, Rng rng);
   sim::SimTime sample(NodeId src, NodeId dst, Rng& rng) override;
 
  private:
-  [[nodiscard]] sim::SimTime base_for(NodeId src, NodeId dst);
+  [[nodiscard]] sim::SimTime base_for(NodeId src, NodeId dst) const;
 
   PlanetLabLatencyConfig cfg_;
-  Rng pair_rng_;  // draws stable per-pair bases, keyed deterministically
-  std::unordered_map<std::uint64_t, sim::SimTime> base_;
+  Rng pair_rng_;  // root of the per-pair base streams, keyed deterministically
 };
 
 }  // namespace hg::net

@@ -27,6 +27,10 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
     prev_churn = event.at;
   }
 
+  HG_ASSERT_MSG(population_.node.gossip.virtual_payloads == stream_.stream.virtual_payloads,
+                "virtual_payloads must be set on the gossip AND stream config (the flag "
+                "selects the serve wire framing deployment-wide)");
+
   // make_unique can't reach the private constructor.
   std::unique_ptr<Deployment> d(new Deployment());
   d->stream_ = stream_;
@@ -90,7 +94,10 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
     core::NodeConfig node_cfg = population_.node;
     node_cfg.capability = r.info.capability;
     r.node = make_node(sim, *d->fabric_, *d->directory_, id, node_cfg);
-    r.player = std::make_unique<stream::Player>(sim, stream_.stream, stream_.windows);
+    r.player = std::make_unique<stream::Player>(
+        sim, stream_.stream, stream_.windows,
+        population_.lean_players ? stream::Player::Recording::kLean
+                                 : stream::Player::Recording::kFull);
     r.player->set_smart(population_.smart_receivers);
 
     // Signal-bus glue: deliveries -> player, request budget -> gate, window

@@ -53,6 +53,9 @@ struct PopulationPlan {
   // only 30-70% of its nominal capability (paper §3.1 observed 5-7%).
   double noise_fraction = 0.0;
   bool smart_receivers = true;
+  // Large-N runs: players record seen-bitmaps + per-window decode times
+  // instead of per-packet arrival timestamps (see stream::Player::Recording).
+  bool lean_players = false;
 };
 
 struct StreamPlan {

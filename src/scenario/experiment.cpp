@@ -25,14 +25,19 @@ PopulationPlan ExperimentConfig::population_plan() const {
   plan.node.gossip.base_fanout = fanout;
   plan.node.gossip.retransmit_period = retransmit_period;
   plan.node.gossip.max_retransmits = max_retransmits;
+  plan.node.gossip.gc_window_horizon = gc_window_horizon;
+  plan.node.gossip.virtual_payloads = virtual_payloads || stream.virtual_payloads;
   plan.node.aggregation = aggregation;
   plan.node.max_fanout = max_fanout;
   plan.node.rounding = rounding;
+  plan.lean_players = lean_players;
   return plan;
 }
 
 StreamPlan ExperimentConfig::stream_plan() const {
-  return StreamPlan{stream, stream_windows, stream_start};
+  StreamPlan plan{stream, stream_windows, stream_start};
+  if (virtual_payloads) plan.stream.virtual_payloads = true;
+  return plan;
 }
 
 ChurnPlan ExperimentConfig::churn_plan() const { return ChurnPlan{churn, detection}; }

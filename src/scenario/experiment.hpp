@@ -54,10 +54,17 @@ struct ExperimentConfig {
   sim::SimTime gossip_period = sim::SimTime::ms(200);
   sim::SimTime retransmit_period = sim::SimTime::ms(1000);
   int max_retransmits = 8;
+  std::uint32_t gc_window_horizon = 40;  // per-event state horizon (windows)
   aggregation::AggregationConfig aggregation;
   double max_fanout = 64.0;
   gossip::FanoutRounding rounding = gossip::FanoutRounding::kRandomized;
   bool smart_receivers = true;
+
+  // Large-scale switches (see scenario::ScalePreset for the tuned bundle):
+  // virtual_payloads drops all payload bytes from the run (identical clock,
+  // no storage); lean_players drops per-packet arrival timestamps.
+  bool virtual_payloads = false;
+  bool lean_players = false;
 
   // Optional override for the protocol stack each node runs (mixed
   // populations, instrumented stacks). Null: preset selected by `mode`.

@@ -1,0 +1,43 @@
+// ScalePreset: tuned ExperimentConfig bundles for 10k-100k+ node runs.
+//
+// The paper's experiments top out at ~700 PlanetLab nodes; the phenomena
+// HEAP is about (capability-class stratification, freerider impact, churn
+// waves) only become statistically crisp at much larger N. This preset
+// flips every large-N switch the engine grew for that purpose:
+//
+//   * virtual payloads  — serves carry declared sizes, not bytes: identical
+//                         clock and wire accounting, zero payload storage
+//   * lean players      — seen-bitmaps + per-window decode times instead of
+//                         per-packet arrival timestamps
+//   * tight gc horizon  — per-event gossip state trimmed a few windows
+//                         behind the stream head
+//   * capped aggregation— the b̄ estimate runs on a bounded record table
+//                         (the uncapped table converges on O(N) per node)
+//   * ln(N) + c fanout  — the reliability threshold scales with N
+//
+// Streams are short (a few FEC windows): scale runs measure the engine and
+// the class-stratified lag/jitter distributions, not long-haul playback.
+// Metrics over such runs should use metrics::Samples::streaming so report
+// memory stays fixed no matter the population.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "scenario/experiment.hpp"
+
+namespace hg::scenario {
+
+struct ScalePreset {
+  // `nodes` receivers at the given mode, ref-691 capability distribution.
+  [[nodiscard]] static ExperimentConfig config(std::size_t nodes,
+                                               core::Mode mode = core::Mode::kHeap,
+                                               std::uint64_t seed = 2009);
+
+  // The bench_fig_scale ladder.
+  [[nodiscard]] static ExperimentConfig nodes_10k() { return config(10'000); }
+  [[nodiscard]] static ExperimentConfig nodes_50k() { return config(50'000); }
+  [[nodiscard]] static ExperimentConfig nodes_100k() { return config(100'000); }
+};
+
+}  // namespace hg::scenario

@@ -86,6 +86,7 @@ std::optional<double> LagAnalyzer::mean_delivery_in_jittered(const Player& p,
 }
 
 std::vector<double> LagAnalyzer::packet_delivery_lags(const Player& p) const {
+  HG_ASSERT_MSG(p.full_recording(), "per-packet metrics need Player::Recording::kFull");
   std::vector<double> lags;
   lags.reserve(static_cast<std::size_t>(windows_) * config_.data_per_window);
   for (std::uint32_t w = 0; w < windows_; ++w) {

@@ -21,6 +21,11 @@ struct StreamConfig {
   std::size_t parity_per_window = 9;   // FEC packets per window
   double payload_rate_kbps = 551.0;    // pre-FEC stream rate
   bool real_payloads = false;          // true: actual RS coding end to end
+  // Large-scale runs: publish events that declare packet_bytes but store no
+  // payload at all (see gossip::Event). Every node's GossipConfig must set
+  // the matching virtual_payloads flag. Mutually exclusive with
+  // real_payloads.
+  bool virtual_payloads = false;
 
   [[nodiscard]] std::size_t window_packets() const {
     return data_per_window + parity_per_window;

@@ -4,11 +4,17 @@
 
 namespace hg::stream {
 
-Player::Player(sim::Simulator& simulator, StreamConfig config, std::uint32_t windows_total)
-    : sim_(simulator), config_(config) {
+Player::Player(sim::Simulator& simulator, StreamConfig config, std::uint32_t windows_total,
+               Recording recording)
+    : sim_(simulator), config_(config), recording_(recording) {
   windows_.resize(windows_total);
-  for (auto& w : windows_) {
-    w.arrival.assign(config_.window_packets(), sim::SimTime::max());
+  if (recording_ == Recording::kFull) {
+    for (auto& w : windows_) {
+      w.arrival.assign(config_.window_packets(), sim::SimTime::max());
+    }
+  } else {
+    const std::size_t bits = windows_total * config_.window_packets();
+    seen_bits_.assign((bits + 63) / 64, 0);
   }
 }
 
@@ -16,12 +22,20 @@ void Player::on_deliver(const gossip::Event& event) {
   const gossip::EventId id = event.id;
   if (id.window() >= windows_.size()) return;  // outside the measured stream
   WindowRecord& rec = windows_[id.window()];
-  HG_ASSERT(id.index() < rec.arrival.size());
-  if (rec.arrival[id.index()] != sim::SimTime::max()) {
-    ++duplicates_;
-    return;
+  HG_ASSERT(id.index() < config_.window_packets());
+  if (recording_ == Recording::kFull) {
+    if (rec.arrival[id.index()] != sim::SimTime::max()) {
+      ++duplicates_;
+      return;
+    }
+    rec.arrival[id.index()] = sim_.now();
+  } else {
+    if (seen(id.window(), id.index())) {
+      ++duplicates_;
+      return;
+    }
+    mark_seen(id.window(), id.index());
   }
-  rec.arrival[id.index()] = sim_.now();
   ++rec.received;
   ++packets_received_;
   if (id.index() < config_.data_per_window) ++rec.data_received;
@@ -55,6 +69,7 @@ bool Player::should_request(gossip::EventId id) {
 }
 
 std::uint32_t Player::data_arrived_by(std::uint32_t w, sim::SimTime deadline) const {
+  HG_ASSERT_MSG(full_recording(), "per-packet queries need Recording::kFull");
   const WindowRecord& rec = windows_[w];
   std::uint32_t count = 0;
   for (std::size_t i = 0; i < config_.data_per_window; ++i) {

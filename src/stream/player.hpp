@@ -32,7 +32,18 @@ class Player {
  public:
   using CancelWindowFn = std::function<void(std::uint32_t window)>;
 
-  Player(sim::Simulator& simulator, StreamConfig config, std::uint32_t windows_total);
+  // What the player records per packet:
+  //   kFull — every packet's arrival timestamp (all post-hoc metrics work).
+  //   kLean — a seen-bitmap plus per-window counters and decode times. The
+  //           per-packet timestamp array (~windows * 110 * 8 B per node —
+  //           the dominant per-node cost of a 100k-node run) is never
+  //           allocated; jitter/decode-lag metrics remain exact, while
+  //           per-packet queries (data_arrived_by, packet_delivery_lags)
+  //           are unavailable and assert.
+  enum class Recording { kFull, kLean };
+
+  Player(sim::Simulator& simulator, StreamConfig config, std::uint32_t windows_total,
+         Recording recording = Recording::kFull);
 
   // Wire into the gossip engine: deliver callback + request gate. A `true`
   // from should_request is a grant — the engine will request the id — so
@@ -72,11 +83,23 @@ class Player {
   [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
   [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
   [[nodiscard]] const StreamConfig& config() const { return config_; }
+  [[nodiscard]] bool full_recording() const { return recording_ == Recording::kFull; }
 
  private:
+  [[nodiscard]] bool seen(std::uint32_t window, std::uint16_t index) const {
+    const std::size_t bit = window * config_.window_packets() + index;
+    return (seen_bits_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+  void mark_seen(std::uint32_t window, std::uint16_t index) {
+    const std::size_t bit = window * config_.window_packets() + index;
+    seen_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+
   sim::Simulator& sim_;
   StreamConfig config_;
+  Recording recording_;
   std::vector<WindowRecord> windows_;
+  std::vector<std::uint64_t> seen_bits_;  // lean mode: packet dedup bitmap
   bool smart_ = true;
   std::uint32_t request_slack_ = 3;
   sim::SimTime grant_ttl_ = sim::SimTime::sec(10.0);

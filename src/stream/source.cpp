@@ -7,7 +7,11 @@ namespace hg::stream {
 StreamSource::StreamSource(sim::Simulator& simulator, StreamConfig config, PublishFn publish)
     : sim_(simulator), config_(config), publish_(std::move(publish)) {
   HG_ASSERT(publish_ != nullptr);
-  if (config_.real_payloads) {
+  HG_ASSERT_MSG(!(config_.real_payloads && config_.virtual_payloads),
+                "real_payloads and virtual_payloads are mutually exclusive");
+  if (config_.virtual_payloads) {
+    // No payload bytes exist anywhere in a virtual run.
+  } else if (config_.real_payloads) {
     codec_ = std::make_unique<fec::WindowCodec>(
         fec::WindowCodecConfig{.data_per_window = config_.data_per_window,
                                .parity_per_window = config_.parity_per_window,
@@ -50,6 +54,12 @@ void StreamSource::emit_next() {
   const gossip::EventId id = packet_id(w, i);
 
   net::BufferRef payload;
+  if (config_.virtual_payloads) {
+    publish_(gossip::Event{id, {}, static_cast<std::uint32_t>(config_.packet_bytes)});
+    ++packets_published_;
+    advance_cursor();
+    return;
+  }
   if (!config_.real_payloads) {
     payload = zero_payload_;
   } else if (i < config_.data_per_window) {
@@ -73,8 +83,10 @@ void StreamSource::emit_next() {
 
   publish_(gossip::Event{id, std::move(payload)});
   ++packets_published_;
+  advance_cursor();
+}
 
-  // Advance the (window, index) cursor and self-schedule.
+void StreamSource::advance_cursor() {
   if (next_index_ + 1u < config_.window_packets()) {
     ++next_index_;
   } else {

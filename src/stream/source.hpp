@@ -39,6 +39,8 @@ class StreamSource {
 
  private:
   void emit_next();
+  // Advances the (window, index) cursor and self-schedules the next emit.
+  void advance_cursor();
 
   sim::Simulator& sim_;
   StreamConfig config_;

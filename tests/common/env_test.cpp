@@ -1,0 +1,66 @@
+// Strict env-knob parsing: accepted values parse exactly; zero / negative /
+// garbage / overflow / empty all terminate with a message naming the
+// variable instead of silently falling back.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+
+namespace hg {
+namespace {
+
+TEST(EnvParse, AcceptsValidIntegers) {
+  EXPECT_EQ(parse_env_int("HG_SEEDS", "1", 1, 100000), 1);
+  EXPECT_EQ(parse_env_int("HG_SEEDS", "42", 1, 100000), 42);
+  EXPECT_EQ(parse_env_int("HG_THREADS", "4096", 1, 4096), 4096);
+  EXPECT_EQ(parse_env_int("X", "-3", -10, 10), -3);  // bounds are the contract
+}
+
+TEST(EnvParse, FallbackOnlyWhenUnset) {
+  unsetenv("HG_TEST_KNOB");
+  EXPECT_EQ(env_int_or("HG_TEST_KNOB", 7, 1, 100), 7);
+  setenv("HG_TEST_KNOB", "31", 1);
+  EXPECT_EQ(env_int_or("HG_TEST_KNOB", 7, 1, 100), 31);
+  unsetenv("HG_TEST_KNOB");
+}
+
+using EnvParseDeathTest = ::testing::Test;
+
+TEST(EnvParseDeathTest, RejectsZeroWhenMinIsOne) {
+  ASSERT_DEATH((void)parse_env_int("HG_SEEDS", "0", 1, 100000), "HG_SEEDS.*out of range");
+}
+
+TEST(EnvParseDeathTest, RejectsNegative) {
+  ASSERT_DEATH((void)parse_env_int("HG_SEEDS", "-4", 1, 100000), "HG_SEEDS.*out of range");
+}
+
+TEST(EnvParseDeathTest, RejectsGarbage) {
+  ASSERT_DEATH((void)parse_env_int("HG_THREADS", "fast", 1, 4096),
+               "HG_THREADS.*not an integer");
+}
+
+TEST(EnvParseDeathTest, RejectsTrailingGarbage) {
+  ASSERT_DEATH((void)parse_env_int("HG_SEEDS", "1O", 1, 100000), "HG_SEEDS.*not an integer");
+}
+
+TEST(EnvParseDeathTest, RejectsOverflow) {
+  ASSERT_DEATH((void)parse_env_int("HG_SEEDS", "99999999999999999999", 1, 100000),
+               "HG_SEEDS.*out of range");
+}
+
+TEST(EnvParseDeathTest, RejectsEmptySetValue) {
+  ASSERT_DEATH((void)parse_env_int("HG_SEEDS", "", 1, 100000), "HG_SEEDS: empty value");
+}
+
+TEST(EnvParseDeathTest, EnvWrapperRejectsGarbageToo) {
+  ASSERT_DEATH(
+      {
+        setenv("HG_TEST_KNOB2", "nope", 1);
+        (void)env_int_or("HG_TEST_KNOB2", 1, 1, 100);
+      },
+      "HG_TEST_KNOB2.*not an integer");
+}
+
+}  // namespace
+}  // namespace hg

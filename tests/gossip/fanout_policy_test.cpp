@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "aggregation/freshness_aggregator.hpp"
 
@@ -140,6 +142,122 @@ TEST(AdaptiveFanout, RandomizedRoundingIsExactInExpectation) {
   constexpr int kRounds = 200000;
   for (int i = 0; i < kRounds; ++i) sum += static_cast<double>(p.fanout_for_round(rng));
   EXPECT_NEAR(sum / kRounds, 7.0 * 512.0 / 691.0, 0.01);
+}
+
+// --- property-based: the HEAP invariant over randomized populations --------
+//
+// Equation 1 (f_p = f * b_p / b̄) promises that however capabilities are
+// distributed, (a) the *system-wide* expected fanout stays N * f — the
+// ln(n)+c reliability threshold is preserved — and (b) each node's share is
+// proportional to its capability, monotone, never negative, and never NaN.
+
+TEST(AdaptiveFanoutProperty, ExpectedTotalFanoutIsPopulationTimesBase) {
+  Rng rng(0xfa42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 50 + static_cast<std::size_t>(rng.below(400));
+    const double base_fanout = 2.0 + rng.uniform(0.0, 10.0);
+    std::vector<double> caps_bps;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Heavy spread: three decades of capability, like real populations.
+      caps_bps.push_back(std::exp(rng.uniform(std::log(64e3), std::log(64e6))));
+      sum += caps_bps.back();
+    }
+    FakeEstimator est(sum / static_cast<double>(n));
+
+    AdaptiveFanoutConfig cfg;
+    cfg.base_fanout = base_fanout;
+    cfg.min_fanout = 0.0;
+    cfg.max_fanout = 1e9;  // no clamping: the algebraic identity must be exact
+    double total_target = 0.0;
+    for (double c : caps_bps) {
+      AdaptiveFanout p(BitRate::bps(static_cast<std::int64_t>(c)), &est, cfg);
+      const double target = p.current_target();
+      EXPECT_GE(target, 0.0);
+      EXPECT_FALSE(std::isnan(target));
+      total_target += target;
+    }
+    const double expected = static_cast<double>(n) * base_fanout;
+    EXPECT_NEAR(total_target / expected, 1.0, 1e-6)
+        << "trial " << trial << " n=" << n << " f=" << base_fanout;
+  }
+}
+
+TEST(AdaptiveFanoutProperty, EmpiricalRoundedFanoutMatchesExpectationWithinTolerance) {
+  // Same invariant through the randomized-rounding path: averaging the
+  // integer per-round fanouts over many rounds recovers N * f.
+  Rng rng(0xbeef);
+  FakeEstimator est(0.0);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::size_t n = 100;
+    const double base_fanout = 7.0;
+    std::vector<double> caps_bps;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps_bps.push_back(rng.uniform(128e3, 8e6));
+      sum += caps_bps.back();
+    }
+    est.set(sum / static_cast<double>(n));
+    AdaptiveFanoutConfig cfg;
+    cfg.base_fanout = base_fanout;
+    cfg.max_fanout = 1e6;
+    double rounds_total = 0.0;
+    constexpr int kRounds = 2000;
+    for (double c : caps_bps) {
+      AdaptiveFanout p(BitRate::bps(static_cast<std::int64_t>(c)), &est, cfg);
+      for (int r = 0; r < kRounds; ++r) {
+        rounds_total += static_cast<double>(p.fanout_for_round(rng));
+      }
+    }
+    const double mean_total = rounds_total / kRounds;
+    EXPECT_NEAR(mean_total / (static_cast<double>(n) * base_fanout), 1.0, 0.02) << trial;
+  }
+}
+
+TEST(AdaptiveFanoutProperty, FanoutIsMonotoneInCapability) {
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 10; ++trial) {
+    FakeEstimator est(rng.uniform(256e3, 4e6));
+    AdaptiveFanoutConfig cfg;
+    cfg.max_fanout = 64.0;  // clamping must preserve (weak) monotonicity
+    std::vector<double> caps;
+    for (int i = 0; i < 200; ++i) caps.push_back(rng.uniform(1e3, 1e8));
+    std::sort(caps.begin(), caps.end());
+    double prev = -1.0;
+    for (double c : caps) {
+      AdaptiveFanout p(BitRate::bps(static_cast<std::int64_t>(c)), &est, cfg);
+      const double target = p.current_target();
+      EXPECT_GE(target, prev);
+      EXPECT_GE(target, 0.0);
+      prev = target;
+    }
+  }
+}
+
+TEST(AdaptiveFanoutProperty, ProportionalToCapabilityWhenUnclamped) {
+  Rng rng(0xcafe);
+  FakeEstimator est(691e3);
+  AdaptiveFanoutConfig cfg;
+  cfg.max_fanout = 1e9;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(64e3, 4e6);
+    const double b = rng.uniform(64e3, 4e6);
+    AdaptiveFanout pa(BitRate::bps(static_cast<std::int64_t>(a)), &est, cfg);
+    AdaptiveFanout pb(BitRate::bps(static_cast<std::int64_t>(b)), &est, cfg);
+    // f_a / f_b == b_a / b_b (proportionality, independent of b̄).
+    EXPECT_NEAR(pa.current_target() / pb.current_target(),
+                static_cast<double>(static_cast<std::int64_t>(a)) /
+                    static_cast<double>(static_cast<std::int64_t>(b)),
+                1e-9);
+  }
+}
+
+TEST(AdaptiveFanoutPropertyDeathTest, NanEstimateIsRejectedAtRoundTime) {
+  // A NaN b̄ must abort loudly, not propagate NaN into a size_t cast (UB).
+  FakeEstimator est(std::numeric_limits<double>::quiet_NaN());
+  AdaptiveFanout p(BitRate::kbps(512), &est, AdaptiveFanoutConfig{});
+  Rng rng(6);
+  ASSERT_DEATH((void)p.fanout_for_round(rng), "NaN");
 }
 
 }  // namespace

@@ -89,17 +89,53 @@ TEST(Messages, BatchedServeSlicesMatchIndividualEncodes) {
   for (const Event& e : events) {
     EXPECT_EQ(encoded_serve_size(e), encode(ServeMsg{NodeId{9}, e}).size());
   }
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  std::vector<ServeSpan> spans;
   const net::BufferRef batch = encode_serve_batch(NodeId{9}, events, spans);
   ASSERT_EQ(spans.size(), events.size());
   for (std::size_t i = 0; i < events.size(); ++i) {
-    const net::BufferRef slice = batch.slice(spans[i].first, spans[i].second);
+    EXPECT_EQ(spans[i].phantom_bytes, 0u);  // real payloads: nothing phantom
+    const net::BufferRef slice = batch.slice(spans[i].offset, spans[i].length);
     EXPECT_EQ(slice.to_vector(), encode(ServeMsg{NodeId{9}, events[i]}).to_vector());
     auto out = decode_serve(slice);
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->event.id, events[i].id);
     EXPECT_EQ(out->event.payload.to_vector(), events[i].payload.to_vector());
   }
+}
+
+TEST(Messages, VirtualServeRoundTripAndPhantomAccounting) {
+  // A virtual-payload serve ships the header + declared length only; the
+  // span carries the missing bytes as phantom, and header+phantom together
+  // account exactly what the real-payload encoding would put on the wire.
+  const Event real{EventId{7, 3}, make_payload(1316, 0x5a)};
+  Event virt;
+  virt.id = real.id;
+  virt.virtual_size = 1316;
+  ASSERT_TRUE(virt.virtual_payload());
+  EXPECT_EQ(virt.payload_size(), real.payload_size());
+  EXPECT_EQ(encoded_serve_size(virt), encoded_serve_size(real));
+
+  std::vector<Event> events{virt};
+  std::vector<ServeSpan> spans;
+  const net::BufferRef batch = encode_serve_batch(NodeId{9}, events, spans);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].phantom_bytes, 1316u);
+  EXPECT_EQ(spans[0].length + spans[0].phantom_bytes, encoded_serve_size(real));
+
+  const net::BufferRef slice = batch.slice(spans[0].offset, spans[0].length);
+  // Virtual framing decodes only in virtual mode...
+  const auto out = decode_serve(slice, /*virtual_payloads=*/true);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->sender, NodeId{9});
+  EXPECT_EQ(out->event.id, virt.id);
+  EXPECT_TRUE(out->event.virtual_payload());
+  EXPECT_EQ(out->event.payload_size(), 1316u);
+  // ...while a real-mode decode sees a truncated payload and rejects it.
+  EXPECT_FALSE(decode_serve(slice).has_value());
+  // And a real-payload serve is rejected by a virtual-mode decoder (framing
+  // mismatch must be loud, not shrugged off as loss).
+  EXPECT_FALSE(
+      decode_serve(encode(ServeMsg{NodeId{9}, real}), /*virtual_payloads=*/true).has_value());
 }
 
 TEST(Messages, AggregationRoundTrip) {

@@ -173,6 +173,46 @@ TEST(Experiment, SeedChangesRealization) {
   EXPECT_NE(a.simulator().events_executed(), b.simulator().events_executed());
 }
 
+TEST(Experiment, VirtualPayloadRunIsClockIdenticalToSizedRun) {
+  // The whole point of virtual payloads: phantom wire bytes make every
+  // timing- and accounting-relevant quantity *bit-identical* to a run that
+  // ships (zero-filled) payload bytes of the same size — only the storage
+  // disappears. Lean players must be equally invisible to the clock.
+  auto base = small_cfg(core::Mode::kHeap, BandwidthDistribution::ref691(),
+                        /*nodes=*/60, /*windows=*/4);
+  Experiment sized(base);
+  sized.run();
+
+  auto virt_cfg = base;
+  virt_cfg.virtual_payloads = true;
+  virt_cfg.lean_players = true;
+  Experiment virt(virt_cfg);
+  virt.run();
+
+  ASSERT_EQ(sized.receivers(), virt.receivers());
+  EXPECT_EQ(sized.simulator().events_executed(), virt.simulator().events_executed());
+  EXPECT_EQ(sized.fabric().datagrams_delivered(), virt.fabric().datagrams_delivered());
+  EXPECT_EQ(sized.fabric().datagrams_lost(), virt.fabric().datagrams_lost());
+  for (std::size_t i = 0; i < sized.receivers(); ++i) {
+    EXPECT_EQ(sized.meter(i).total_sent_bytes(), virt.meter(i).total_sent_bytes()) << i;
+    EXPECT_EQ(sized.meter(i).total_received_bytes(), virt.meter(i).total_received_bytes())
+        << i;
+    EXPECT_EQ(sized.player(i).packets_received(), virt.player(i).packets_received()) << i;
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      EXPECT_EQ(sized.player(i).window(w).decode_time, virt.player(i).window(w).decode_time)
+          << i << " w" << w;
+    }
+  }
+  // And no payload byte is stored anywhere in the virtual run.
+  for (std::size_t i = 0; i < virt.receivers(); ++i) {
+    const auto& g = virt.node(i).module<gossip::GossipModule>().engine();
+    if (const auto* e = g.delivered_event(gossip::EventId{3, 0})) {
+      EXPECT_TRUE(e->virtual_payload());
+      EXPECT_EQ(e->payload_size(), base.stream.packet_bytes);
+    }
+  }
+}
+
 TEST(Experiment, RealPayloadsDecodeByteExact) {
   // Full fidelity mode: actual Reed-Solomon windows flow through the whole
   // stack; verify a receiver can reconstruct the exact source bytes.

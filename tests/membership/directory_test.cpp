@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "sim/simulator.hpp"
 
@@ -135,6 +137,95 @@ TEST(Directory, DoubleKillIsIdempotent) {
   dir.kill(NodeId{1});
   dir.kill(NodeId{1});
   EXPECT_EQ(dir.alive_count(), 2u);
+}
+
+TEST(Directory, LazyViewStoresNothingUntilADeathIsDetected) {
+  // Copy-on-write views: over an all-alive population a view is the
+  // implicit identity mapping; only the first detected death materializes
+  // the private peer array.
+  sim::Simulator s(9);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 1000; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{500});
+  EXPECT_FALSE(view->materialized());
+  EXPECT_EQ(view->believed_peers(), 999u);
+  Rng rng(3);
+  std::vector<NodeId> out;
+  view->select_nodes(20, out, rng);
+  EXPECT_FALSE(view->materialized());  // selection alone never materializes
+
+  view->mark_dead(NodeId{7});
+  EXPECT_TRUE(view->materialized());
+  EXPECT_EQ(view->believed_peers(), 998u);
+}
+
+TEST(Directory, CowViewMatchesClassicSnapshotAlgorithm) {
+  // The lazy mapping (and its materialization) must be indistinguishable
+  // from the classic eager snapshot + swap-remove bookkeeping: same RNG
+  // stream in, same peers out, before and after deaths. The reference
+  // implementation lives right here.
+  sim::Simulator s(10);
+  Directory dir(s, DetectionConfig{});
+  const std::uint32_t n = 50;
+  const NodeId owner{10};
+  for (std::uint32_t i = 0; i < n; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(owner);
+
+  std::vector<NodeId> ref_members;  // the classic snapshot, id order
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (NodeId{i} != owner) ref_members.push_back(NodeId{i});
+  }
+  auto ref_mark_dead = [&](NodeId id) {  // classic swap-remove
+    const auto it = std::find(ref_members.begin(), ref_members.end(), id);
+    ASSERT_NE(it, ref_members.end());
+    *it = ref_members.back();
+    ref_members.pop_back();
+  };
+  Rng view_rng(77);
+  Rng ref_rng(77);
+  std::vector<NodeId> got;
+  std::vector<std::uint32_t> idx;
+  auto expect_lockstep = [&](int trials) {
+    for (int t = 0; t < trials; ++t) {
+      view->select_nodes(7, got, view_rng);
+      idx.clear();
+      ref_rng.sample_indices(ref_members.size(), 7, idx);
+      ASSERT_EQ(got.size(), idx.size());
+      for (std::size_t k = 0; k < idx.size(); ++k) EXPECT_EQ(got[k], ref_members[idx[k]]);
+    }
+  };
+
+  ASSERT_FALSE(view->materialized());
+  expect_lockstep(200);  // lazy phase
+
+  view->mark_dead(NodeId{23});  // materializes mid-run
+  ref_mark_dead(NodeId{23});
+  ASSERT_TRUE(view->materialized());
+  expect_lockstep(200);
+
+  view->mark_dead(NodeId{49});  // swap-remove order must also match
+  ref_mark_dead(NodeId{49});
+  view->mark_dead(NodeId{0});
+  ref_mark_dead(NodeId{0});
+  expect_lockstep(200);
+}
+
+TEST(Directory, ViewBuiltAfterDeathsMaterializesEagerly) {
+  // The identity mapping only holds over an all-alive population; a view
+  // built later must fall back to the snapshot and exclude the dead.
+  sim::Simulator s(11);
+  Directory dir(s, DetectionConfig{});
+  for (std::uint32_t i = 0; i < 10; ++i) dir.add_node(NodeId{i});
+  dir.kill(NodeId{4});
+  auto view = dir.make_view(NodeId{0});
+  EXPECT_TRUE(view->materialized());
+  EXPECT_EQ(view->believed_peers(), 8u);
+  Rng rng(5);
+  std::vector<NodeId> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    view->select_nodes(8, out, rng);
+    for (NodeId id : out) EXPECT_NE(id, NodeId{4});
+  }
 }
 
 TEST(Directory, ViewOfKilledOwnerUnaffected) {

@@ -1,0 +1,193 @@
+// Streaming reservoir vs exact order statistics: the sketch must track the
+// exact metrics within its rank-error bound on randomized inputs, agree
+// bit-for-bit on the moments it computes exactly, and survive the empty /
+// single-sample / duplicate-heavy corners.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "metrics/percentile.hpp"
+#include "metrics/reservoir.hpp"
+
+namespace hg::metrics {
+namespace {
+
+// Rank error of `got` against the exact sorted sample set: the distance (as
+// a fraction of n) between the claimed and actual position of `got`.
+double rank_error(std::vector<double> sorted, double q, double got) {
+  const auto n = static_cast<double>(sorted.size());
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), got) - sorted.begin();
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), got) - sorted.begin();
+  const double target = q / 100.0 * (n - 1);
+  const double lo_err = target < static_cast<double>(lo)
+                            ? (static_cast<double>(lo) - target) / n
+                            : 0.0;
+  const double hi_err = target > static_cast<double>(hi)
+                            ? (target - static_cast<double>(hi)) / n
+                            : 0.0;
+  return std::max(lo_err, hi_err);
+}
+
+TEST(QuantileReservoir, MatchesExactWithinRankBoundOnRandomInputs) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 4; ++trial) {
+    QuantileReservoir sketch(512);
+    std::vector<double> exact;
+    const std::size_t n = 200'000;
+    exact.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Heavy-tailed, like lag distributions.
+      const double v = trial % 2 == 0 ? rng.uniform(0.0, 100.0)
+                                      : std::exp(rng.normal(1.0, 1.5));
+      sketch.add(v);
+      exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double q : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+      EXPECT_LE(rank_error(exact, q, sketch.percentile(q)), 0.02)
+          << "trial " << trial << " q=" << q;
+    }
+    // Memory is fixed: far fewer elements retained than streamed.
+    EXPECT_LT(sketch.retained(), 512 * 16);
+  }
+}
+
+TEST(QuantileReservoir, ExactMomentsAndExtremes) {
+  Rng rng(7);
+  QuantileReservoir sketch(128);
+  Samples exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = rng.uniform(-5.0, 5.0);
+    sketch.add(v);
+    exact.add(v);
+  }
+  EXPECT_EQ(sketch.count(), 50'000u);
+  EXPECT_NEAR(sketch.mean(), exact.mean(), 1e-9);
+  EXPECT_NEAR(sketch.stddev(), exact.stddev(), 1e-9);
+  EXPECT_EQ(sketch.min(), exact.min());  // extremes are tracked exactly
+  EXPECT_EQ(sketch.max(), exact.max());
+}
+
+TEST(QuantileReservoir, FractionAtMostTracksExactCdf) {
+  Rng rng(11);
+  QuantileReservoir sketch(512);
+  Samples exact;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.uniform(0.0, 40.0);
+    sketch.add(v);
+    exact.add(v);
+  }
+  for (double x : {0.0, 3.7, 10.0, 20.0, 39.9, 40.0, 50.0}) {
+    EXPECT_NEAR(sketch.fraction_at_most(x), exact.fraction_at_most(x), 0.02) << x;
+  }
+}
+
+TEST(QuantileReservoir, DeterministicForIdenticalInput) {
+  // No RNG inside: two reservoirs fed the same sequence answer identically
+  // (this is what makes multi-thread sweeps bit-reproducible).
+  QuantileReservoir a(64);
+  QuantileReservoir b(64);
+  Rng rng(3);
+  std::vector<double> input;
+  for (int i = 0; i < 10'000; ++i) input.push_back(rng.uniform(0, 1000));
+  for (double v : input) a.add(v);
+  for (double v : input) b.add(v);
+  for (double q : {0.0, 12.5, 50.0, 87.5, 100.0}) {
+    EXPECT_EQ(a.percentile(q), b.percentile(q));
+  }
+  EXPECT_EQ(a.retained(), b.retained());
+}
+
+TEST(QuantileReservoir, SmallInputsAreExact) {
+  // Everything fits in the level-0 buffer: answers equal the exact ones.
+  QuantileReservoir sketch(256);
+  Samples exact;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0, 10);
+    sketch.add(v);
+    exact.add(v);
+  }
+  for (double q : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    // Exact Samples interpolates between ranks, the sketch answers a real
+    // sample; agreement must be within one inter-sample gap.
+    const double lo = exact.percentile(std::max(0.0, q - 1.0));
+    const double hi = exact.percentile(std::min(100.0, q + 1.0));
+    EXPECT_GE(sketch.percentile(q), lo - 1e-12);
+    EXPECT_LE(sketch.percentile(q), hi + 1e-12);
+  }
+  EXPECT_EQ(sketch.fraction_at_most(5.0), exact.fraction_at_most(5.0));
+}
+
+TEST(QuantileReservoir, EmptyAndSingleSample) {
+  QuantileReservoir sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.fraction_at_most(1.0), 0.0);
+
+  sketch.add(42.0);
+  EXPECT_FALSE(sketch.empty());
+  for (double q : {0.0, 50.0, 100.0}) EXPECT_EQ(sketch.percentile(q), 42.0);
+  EXPECT_EQ(sketch.min(), 42.0);
+  EXPECT_EQ(sketch.max(), 42.0);
+  EXPECT_EQ(sketch.mean(), 42.0);
+  EXPECT_EQ(sketch.stddev(), 0.0);
+  EXPECT_EQ(sketch.fraction_at_most(41.0), 0.0);
+  EXPECT_EQ(sketch.fraction_at_most(42.0), 1.0);
+}
+
+TEST(QuantileReservoir, DuplicateHeavyInput) {
+  // 90% of the mass is one value; quantiles inside that plateau must return
+  // it exactly, however the buffers collapse.
+  QuantileReservoir sketch(64);
+  for (int i = 0; i < 90'000; ++i) sketch.add(7.0);
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) sketch.add(rng.uniform(100.0, 200.0));
+  for (double q : {5.0, 25.0, 50.0, 85.0}) EXPECT_EQ(sketch.percentile(q), 7.0) << q;
+  EXPECT_NEAR(sketch.fraction_at_most(7.0), 0.9, 0.02);
+  EXPECT_EQ(sketch.fraction_at_most(6.9), 0.0);
+  EXPECT_EQ(sketch.fraction_at_most(200.0), 1.0);
+}
+
+TEST(StreamingSamples, RoutesThroughSketchBehindTheSamplesApi) {
+  Samples s = Samples::streaming(256);
+  EXPECT_TRUE(s.is_streaming());
+  EXPECT_TRUE(s.empty());
+  Rng rng(13);
+  Samples exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = rng.uniform(0.0, 60.0);
+    s.add(v);
+    exact.add(v);
+  }
+  EXPECT_EQ(s.count(), 50'000u);
+  EXPECT_NEAR(s.mean(), exact.mean(), 1e-9);
+  EXPECT_EQ(s.min(), exact.min());
+  EXPECT_EQ(s.max(), exact.max());
+  EXPECT_NEAR(s.percentile(90.0), exact.percentile(90.0), 60.0 * 0.03);
+  EXPECT_NEAR(s.fraction_at_most(30.0), exact.fraction_at_most(30.0), 0.02);
+}
+
+TEST(StreamingSamplesDeathTest, ValuesUnavailableInStreamingMode) {
+  Samples s = Samples::streaming();
+  s.add(1.0);
+  ASSERT_DEATH((void)s.values(), "streaming Samples do not retain raw values");
+}
+
+TEST(ExactSamples, DefaultModeIsUnchanged) {
+  // The exact path must behave as before: values() available, interpolated
+  // percentiles, byte-stable results feeding the figure benches.
+  Samples s;
+  EXPECT_FALSE(s.is_streaming());
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_EQ(s.values().size(), 3u);
+  EXPECT_EQ(s.percentile(50.0), 2.0);
+  EXPECT_EQ(s.percentile(75.0), 2.5);  // interpolation between ranks
+  EXPECT_EQ(s.fraction_at_most(2.0), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace hg::metrics

@@ -135,7 +135,7 @@ TEST(BufferPool, SteadyStateWirePathIsAllocationFree) {
   std::deque<BufferRef> stored;
   std::uint64_t served_total = 0;
   std::vector<gossip::Event> events;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> spans;
+  std::vector<gossip::ServeSpan> spans;
   fabric.register_node(NodeId{0}, BitRate::unlimited(), [&](const Datagram& d) {
     // Node 0: answer a request with the production batched-serve path —
     // one pooled buffer, one zero-copy slice per event.
@@ -146,8 +146,9 @@ TEST(BufferPool, SteadyStateWirePathIsAllocationFree) {
       events.push_back(gossip::Event{id, BufferRef::copy_of(pattern(kPayloadBytes))});
     }
     const BufferRef batch = gossip::encode_serve_batch(NodeId{0}, events, spans);
-    for (const auto& [off, len] : spans) {
-      fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe, batch.slice(off, len));
+    for (const auto& span : spans) {
+      fabric.send(NodeId{0}, NodeId{1}, MsgClass::kServe,
+                  batch.slice(span.offset, span.length));
     }
   });
   fabric.register_node(NodeId{1}, BitRate::mbps(100), [&](const Datagram& d) {

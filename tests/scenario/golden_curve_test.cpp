@@ -1,0 +1,157 @@
+// Golden-curve regression: a checked-in fig05-shaped metric JSON pins the
+// paper curves at small N. The scenario reruns deterministically, so any
+// metric-pipeline refactor (exact-mode Samples, CDF evaluation, report
+// builders) or protocol change that bends the curves fails here instead of
+// silently shipping different "paper" numbers.
+//
+// Regenerate after an *intended* behaviour change with:
+//   HG_UPDATE_GOLDEN=1 ./hg_scale_tests --gtest_filter='GoldenCurve.*'
+// and commit the diff under tests/golden/ alongside its justification.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/report.hpp"
+
+#ifndef HG_GOLDEN_DIR
+#error "HG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace hg::scenario {
+namespace {
+
+// 2 s is where the curves separate hard at this scale (at 10 s everything
+// is jitter-free and the regression would have no signal).
+constexpr double kLagSec = 2.0;
+// Tolerance band in percentage points. The run is bit-deterministic, so the
+// band is not statistical slack — it is the amount of silent curve-bending
+// we are willing to wave through before a human looks.
+constexpr double kTolerancePct = 2.0;
+
+ExperimentConfig small_fig05(core::Mode mode) {
+  ExperimentConfig cfg;
+  cfg.node_count = 100;
+  cfg.stream_windows = 8;
+  cfg.tail = sim::SimTime::sec(30.0);
+  cfg.mode = mode;
+  cfg.distribution = BandwidthDistribution::ref691();
+  cfg.seed = 2009;
+  return cfg;
+}
+
+struct GoldenRow {
+  std::string mode;
+  std::string class_name;
+  double jitter_free_pct = 0.0;
+};
+
+std::string golden_path() { return std::string(HG_GOLDEN_DIR) + "/fig05_ref691_small.json"; }
+
+// Extracts the value of `"key": "..."` or `"key": <number>` after `from`.
+std::string json_field(const std::string& text, const std::string& key, std::size_t from,
+                       std::size_t* end) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = text.find(needle, from);
+  EXPECT_NE(at, std::string::npos) << "missing field " << key;
+  auto begin = text.find_first_not_of(" \t", at + needle.size());
+  std::size_t stop;
+  if (text[begin] == '"') {
+    ++begin;
+    stop = text.find('"', begin);
+  } else {
+    stop = text.find_first_of(",}\n", begin);
+  }
+  if (end != nullptr) *end = stop;
+  return text.substr(begin, stop - begin);
+}
+
+std::vector<GoldenRow> parse_golden(const std::string& text) {
+  std::vector<GoldenRow> rows;
+  std::size_t at = text.find("\"series\"");
+  while ((at = text.find("{\"mode\"", at)) != std::string::npos) {
+    GoldenRow row;
+    std::size_t end = at;
+    row.mode = json_field(text, "mode", at, &end);
+    row.class_name = json_field(text, "class", end, &end);
+    row.jitter_free_pct = std::stod(json_field(text, "jitter_free_pct", end, &end));
+    rows.push_back(std::move(row));
+    at = end;
+  }
+  return rows;
+}
+
+std::vector<GoldenRow> run_current() {
+  std::vector<GoldenRow> rows;
+  for (const core::Mode mode : {core::Mode::kStandard, core::Mode::kHeap}) {
+    Experiment e(small_fig05(mode));
+    e.run();
+    for (const ClassStat& stat : jitter_free_pct_by_class(e, kLagSec)) {
+      rows.push_back(GoldenRow{mode == core::Mode::kHeap ? "heap" : "standard",
+                               stat.class_name, stat.value * 100.0});
+    }
+  }
+  return rows;
+}
+
+void write_golden(const std::vector<GoldenRow>& rows) {
+  std::FILE* f = std::fopen(golden_path().c_str(), "w");
+  ASSERT_NE(f, nullptr) << golden_path();
+  std::fprintf(f,
+               "{\n  \"scenario\": \"fig05_ref691_small\",\n  \"nodes\": 100,\n"
+               "  \"windows\": 8,\n  \"seed\": 2009,\n  \"lag_sec\": %.1f,\n"
+               "  \"series\": [\n",
+               kLagSec);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    {\"mode\": \"%s\", \"class\": \"%s\", \"jitter_free_pct\": %.6f}%s\n",
+                 rows[i].mode.c_str(), rows[i].class_name.c_str(), rows[i].jitter_free_pct,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+TEST(GoldenCurve, Fig05SmallNMatchesCheckedInJson) {
+  const std::vector<GoldenRow> current = run_current();
+
+  if (std::getenv("HG_UPDATE_GOLDEN") != nullptr) {
+    write_golden(current);
+    GTEST_SKIP() << "golden regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with HG_UPDATE_GOLDEN=1 to create it)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::vector<GoldenRow> golden = parse_golden(buf.str());
+
+  ASSERT_EQ(golden.size(), current.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(golden[i].mode, current[i].mode) << i;
+    EXPECT_EQ(golden[i].class_name, current[i].class_name) << i;
+    EXPECT_NEAR(golden[i].jitter_free_pct, current[i].jitter_free_pct, kTolerancePct)
+        << golden[i].mode << "/" << golden[i].class_name
+        << ": paper curve bent beyond the tolerance band — if intended, regenerate "
+           "with HG_UPDATE_GOLDEN=1 and justify in the commit";
+  }
+
+  // The qualitative paper shape must hold outright: HEAP lifts the poorest
+  // class far above standard gossip (Fig. 5's headline).
+  double std_poor = -1.0;
+  double heap_poor = -1.0;
+  for (const GoldenRow& row : current) {
+    if (row.class_name.find("256") != std::string::npos) {
+      (row.mode == "standard" ? std_poor : heap_poor) = row.jitter_free_pct;
+    }
+  }
+  ASSERT_GE(std_poor, 0.0);
+  ASSERT_GE(heap_poor, 0.0);
+  EXPECT_GT(heap_poor, std_poor);
+}
+
+}  // namespace
+}  // namespace hg::scenario
