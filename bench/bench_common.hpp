@@ -16,6 +16,7 @@
 // output directory; HG_BENCH_JSON=0 disables the file.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -74,6 +75,12 @@ inline std::size_t threads_from_env() {
   return static_cast<std::size_t>(env_int_or("HG_THREADS", 0, 1, 4096));
 }
 
+inline std::size_t workers_from_env() {
+  // HG_WORKERS: intra-run worker threads (superstep-sharded engine).
+  // Unset/0 = the classic sequential event loop.
+  return env_workers();
+}
+
 inline scenario::ExperimentConfig base_config(const Scale& s, core::Mode mode,
                                               scenario::BandwidthDistribution dist,
                                               double fanout = 7.0,
@@ -111,6 +118,7 @@ struct JsonRun {
   std::size_t nodes = 0;
   std::uint32_t windows = 0;
   std::size_t seeds = 0;
+  std::size_t workers = 0;  // intra-run workers (0 = sequential engine)
   double wall_sec = 0.0;
   std::uint64_t events = 0;
 };
@@ -149,9 +157,9 @@ class JsonReport {
       const JsonRun& r = runs_[i];
       std::fprintf(f,
                    "    {\"label\": \"%s\", \"mode\": \"%s\", \"nodes\": %zu, "
-                   "\"windows\": %u, \"seeds\": %zu, \"wall_sec\": %.6f, "
+                   "\"windows\": %u, \"seeds\": %zu, \"workers\": %zu, \"wall_sec\": %.6f, "
                    "\"events\": %llu, \"events_per_sec\": %.1f}%s\n",
-                   r.label.c_str(), r.mode.c_str(), r.nodes, r.windows, r.seeds,
+                   r.label.c_str(), r.mode.c_str(), r.nodes, r.windows, r.seeds, r.workers,
                    r.wall_sec, static_cast<unsigned long long>(r.events),
                    r.wall_sec > 0 ? static_cast<double>(r.events) / r.wall_sec : 0.0,
                    i + 1 < runs_.size() ? "," : "");
@@ -210,9 +218,15 @@ struct SeedSet {
 // carries only the tables). Records wall-clock + events into the JSON report.
 inline SeedSet run(scenario::ExperimentConfig cfg, const char* label) {
   const std::size_t n_seeds = seeds_from_env();
-  std::fprintf(stderr, "[bench] running %-28s (%s, %zu nodes, %u windows, %zu seed%s)...\n",
+  if (cfg.workers == 0) cfg.workers = workers_from_env();
+  warn_if_oversubscribed(cfg.workers,
+                         threads_from_env() > 0 ? std::min(threads_from_env(), n_seeds)
+                                                : n_seeds);
+  std::fprintf(stderr,
+               "[bench] running %-28s (%s, %zu nodes, %u windows, %zu seed%s, %zu worker%s)...\n",
                label, cfg.mode == core::Mode::kHeap ? "HEAP" : "standard", cfg.node_count,
-               cfg.stream_windows, n_seeds, n_seeds == 1 ? "" : "s");
+               cfg.stream_windows, n_seeds, n_seeds == 1 ? "" : "s", cfg.workers,
+               cfg.workers == 1 ? "" : "s");
 
   std::vector<std::uint64_t> seeds;
   seeds.reserve(n_seeds);
@@ -224,12 +238,16 @@ inline SeedSet run(scenario::ExperimentConfig cfg, const char* label) {
   record.nodes = cfg.node_count;
   record.windows = cfg.stream_windows;
   record.seeds = n_seeds;
+  record.workers = cfg.workers;
 
   const auto t0 = std::chrono::steady_clock::now();
-  scenario::SweepRunner runner(scenario::SweepOptions{.threads = threads_from_env()});
+  // Both parallelism levels share the one thread budget: the sweep divides
+  // HG_THREADS (or hardware cores) by the intra-run worker count.
+  scenario::SweepRunner runner(scenario::SweepOptions{.threads = threads_from_env(),
+                                                      .workers_per_job = cfg.workers});
   SeedSet set{runner.run_experiments(scenario::SweepRunner::seed_sweep(std::move(cfg), seeds))};
   record.wall_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  for (const auto& e : set.runs) record.events += e->simulator().events_executed();
+  for (const auto& e : set.runs) record.events += e->events_executed();
   JsonReport::instance().record(std::move(record));
   return set;
 }

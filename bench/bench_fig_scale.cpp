@@ -94,34 +94,56 @@ RunStats analyze(const scenario::Experiment& e) {
 struct LadderRow {
   std::size_t nodes = 0;
   std::size_t seeds = 0;
+  std::size_t workers = 0;     // intra-run workers (0 = sequential engine)
   double wall_sec = 0;
+  double speedup_vs_1w = 0;    // wall(1 worker) / wall; 0 when not measured
   std::uint64_t events = 0;
   double rss_mb = 0;
   std::vector<ClassPercentiles> classes;  // seed-averaged
 };
 
-LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads) {
-  std::fprintf(stderr, "[bench] scale rung: %zu nodes, %zu seed%s...\n", n, n_seeds,
-               n_seeds == 1 ? "" : "s");
-  scenario::ExperimentConfig base = scenario::ScalePreset::config(n);
+// Runs one rung's seed sweep at the given intra-run worker count; returns
+// wall-clock seconds and (optionally) the per-seed stats.
+double time_rung(const scenario::ExperimentConfig& base, const std::vector<std::uint64_t>& seeds,
+                 std::size_t threads, std::size_t workers, std::vector<RunStats>* out) {
+  scenario::ExperimentConfig cfg = base;
+  cfg.workers = workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  scenario::SweepRunner runner(
+      scenario::SweepOptions{.threads = threads, .workers_per_job = workers});
+  auto per_seed = runner.map(scenario::SweepRunner::seed_sweep(std::move(cfg), seeds),
+                             [&](scenario::Experiment& e) {
+                               RunStats s = analyze(e);
+                               s.events = e.events_executed();
+                               return s;
+                             });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (out != nullptr) *out = std::move(per_seed);
+  return wall;
+}
+
+LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads,
+                   std::size_t workers) {
+  std::fprintf(stderr, "[bench] scale rung: %zu nodes, %zu seed%s, %zu worker%s...\n", n,
+               n_seeds, n_seeds == 1 ? "" : "s", workers, workers == 1 ? "" : "s");
+  const scenario::ExperimentConfig base = scenario::ScalePreset::config(n);
   std::vector<std::uint64_t> seeds;
   for (std::size_t i = 0; i < n_seeds; ++i) seeds.push_back(base.seed + i);
 
-  const auto t0 = std::chrono::steady_clock::now();
-  scenario::SweepRunner runner(scenario::SweepOptions{.threads = threads});
-  std::uint64_t total_events = 0;
-  auto per_seed = runner.map(scenario::SweepRunner::seed_sweep(base, seeds),
-                             [&](scenario::Experiment& e) {
-                               RunStats s = analyze(e);
-                               s.events = e.simulator().events_executed();
-                               return s;
-                             });
-
+  std::vector<RunStats> per_seed;
   LadderRow row;
   row.nodes = n;
   row.seeds = n_seeds;
-  row.wall_sec =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  row.workers = workers;
+  row.wall_sec = time_rung(base, seeds, threads, workers, &per_seed);
+  if (workers > 1) {
+    // Speedup reference: the same rung on one intra-run worker (same sharded
+    // engine, same partition layout, identical metrics by construction).
+    std::fprintf(stderr, "[bench] scale rung: %zu nodes 1-worker reference...\n", n);
+    const double ref_wall = time_rung(base, seeds, threads, 1, nullptr);
+    row.speedup_vs_1w = row.wall_sec > 0 ? ref_wall / row.wall_sec : 0.0;
+  }
   // Deterministic merge: seed-order mean of each class percentile; `nodes`
   // stays the per-run class size (identical across seeds — apportionment is
   // a function of N alone). (map() returns results in config order
@@ -147,18 +169,21 @@ LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads) {
     c.jitter_p90 /= ns;
     c.jitter_p99 /= ns;
   }
-  for (const RunStats& s : per_seed) total_events += s.events;
-  row.events = total_events;
+  for (const RunStats& s : per_seed) row.events += s.events;
   row.rss_mb = peak_rss_mb();
   return row;
 }
 
 void print_row(const LadderRow& row) {
-  std::printf("--- %zu nodes (%zu seed%s) ---\n", row.nodes, row.seeds,
-              row.seeds == 1 ? "" : "s");
-  std::printf("wall %.1f s | %.0f events/s | %.0f node-runs/s | peak RSS %.0f MB\n",
+  std::printf("--- %zu nodes (%zu seed%s, %zu worker%s) ---\n", row.nodes, row.seeds,
+              row.seeds == 1 ? "" : "s", row.workers, row.workers == 1 ? "" : "s");
+  std::printf("wall %.1f s | %.0f events/s | %.0f node-runs/s | peak RSS %.0f MB",
               row.wall_sec, static_cast<double>(row.events) / row.wall_sec,
               static_cast<double>(row.nodes * row.seeds) / row.wall_sec, row.rss_mb);
+  if (row.speedup_vs_1w > 0) {
+    std::printf(" | %.2fx vs 1 worker", row.speedup_vs_1w);
+  }
+  std::printf("\n");
   metrics::Table t({"class", "nodes", "lag p50", "lag p90", "lag p99", "jitter% p50",
                     "jitter% p90", "jitter% p99"});
   for (const auto& c : row.classes) {
@@ -178,10 +203,12 @@ void write_json(const std::vector<LadderRow>& rows) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const LadderRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"nodes\": %zu, \"seeds\": %zu, \"wall_sec\": %.3f, "
+                 "    {\"nodes\": %zu, \"seeds\": %zu, \"workers\": %zu, \"wall_sec\": %.3f, "
+                 "\"speedup_vs_1w\": %.3f, "
                  "\"events\": %llu, \"events_per_sec\": %.1f, \"nodes_per_sec\": %.1f, "
                  "\"peak_rss_mb\": %.1f, \"classes\": [",
-                 r.nodes, r.seeds, r.wall_sec, static_cast<unsigned long long>(r.events),
+                 r.nodes, r.seeds, r.workers, r.wall_sec, r.speedup_vs_1w,
+                 static_cast<unsigned long long>(r.events),
                  static_cast<double>(r.events) / r.wall_sec,
                  static_cast<double>(r.nodes * r.seeds) / r.wall_sec, r.rss_mb);
     for (std::size_t c = 0; c < r.classes.size(); ++c) {
@@ -215,9 +242,12 @@ int main(int argc, char** argv) {
                "engine scale regression (beyond the paper's 700-node testbed)",
                "class stratification persists at large N; footprint stays bounded");
 
+  const std::size_t workers = workers_from_env();
+  hg::warn_if_oversubscribed(workers, threads_from_env() > 0 ? threads_from_env()
+                                                             : seeds_from_env());
   std::vector<LadderRow> rows;
   for (std::size_t n : ladder) {
-    rows.push_back(run_rung(n, seeds_from_env(), threads_from_env()));
+    rows.push_back(run_rung(n, seeds_from_env(), threads_from_env(), workers));
     print_row(rows.back());
   }
   write_json(rows);

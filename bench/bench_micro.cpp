@@ -11,6 +11,8 @@
 #include "common/rng.hpp"
 #include "fec/window_codec.hpp"
 #include "gossip/messages.hpp"
+#include "net/fabric.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -466,6 +468,65 @@ void BM_AggregationEstimate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AggregationEstimate)->Arg(16)->Arg(270)->Arg(1000);
+
+// --------------------------------------------------------------------------
+// Superstep-sharded engine: epoch stepping and the cross-partition exchange
+// --------------------------------------------------------------------------
+
+void BM_ParallelSuperstepEpochDrain(benchmark::State& state) {
+  // Cost of driving 4 partitions through 1 ms epochs (barrier per epoch) with
+  // purely local event load. Arg = worker threads; 1 measures pure engine
+  // overhead, >1 adds the fork-join synchronization.
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  sim::ShardedEngine engine(7, 256, {4, workers, sim::SimTime::ms(1)});
+  constexpr int kEventsPerPartition = 64;
+  std::vector<std::uint64_t> fired(engine.partitions(), 0);
+  for (auto _ : state) {
+    const sim::SimTime start = engine.now();
+    for (std::uint32_t p = 0; p < engine.partitions(); ++p) {
+      sim::Simulator& s = engine.sim_of(p);
+      std::uint64_t* count = &fired[p];  // partition-private: no write sharing
+      for (int i = 0; i < kEventsPerPartition; ++i) {
+        s.after_fire_and_forget(sim::SimTime::us(100 * (i + 1)),
+                                [count] { benchmark::DoNotOptimize(++*count); });
+      }
+    }
+    engine.run_until(start + sim::SimTime::ms(10));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(engine.partitions()) *
+                          kEventsPerPartition);
+}
+BENCHMARK(BM_ParallelSuperstepEpochDrain)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelSuperstepBufferExchange(benchmark::State& state) {
+  // Cost of the barrier exchange itself: every datagram crosses a partition
+  // boundary, so each epoch gathers, orders, deep-copies, and re-schedules
+  // the full outbox volume. Arg = worker threads.
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kNodes = 256;
+  sim::ShardedEngine engine(11, kNodes, {4, workers, sim::SimTime::ms(1)});
+  net::NetworkFabric fabric(engine, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(1)),
+                            std::make_unique<net::NoLoss>());
+  std::vector<std::uint64_t> received(engine.partitions(), 0);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    std::uint64_t* count = &received[engine.partition_of(i)];
+    fabric.register_node(NodeId{i}, BitRate::unlimited(),
+                         [count](const net::Datagram&) { ++*count; });
+  }
+  const std::vector<std::uint8_t> payload(64, 0x5a);
+  for (auto _ : state) {
+    const sim::SimTime start = engine.now();
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      // Destination 64 ids away: always a different partition of the 4.
+      fabric.send(NodeId{i}, NodeId{(i + 64) % kNodes}, net::MsgClass::kPropose,
+                  net::BufferRef::copy_of(payload));
+    }
+    engine.run_until(start + sim::SimTime::ms(3));
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes);
+}
+BENCHMARK(BM_ParallelSuperstepBufferExchange)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files on their *metrics*, ignoring timing fields.
+
+Used by CI to assert that intra-run parallelism (HG_WORKERS) changes wall
+clock but not results: a sharded run at W workers must produce bit-identical
+simulation outputs (event counts, per-class percentiles) to the same run at
+1 worker. Timing-derived fields (wall_sec, events_per_sec, nodes_per_sec,
+peak_rss_mb, speedup_vs_1w) and the worker count itself legitimately differ
+and are stripped before comparison.
+
+Usage: compare_bench_metrics.py A.json B.json
+Exit 0 when the metric payloads match exactly; exit 1 with a unified diff
+of the normalized payloads otherwise.
+"""
+
+import difflib
+import json
+import sys
+
+# Fields that measure the machine, not the simulation.
+TIMING_KEYS = frozenset(
+    ["wall_sec", "events_per_sec", "nodes_per_sec", "peak_rss_mb", "speedup_vs_1w", "workers"]
+)
+
+
+def strip_timing(obj):
+    if isinstance(obj, dict):
+        return {k: strip_timing(v) for k, v in obj.items() if k not in TIMING_KEYS}
+    if isinstance(obj, list):
+        return [strip_timing(v) for v in obj]
+    return obj
+
+
+def normalize(path):
+    with open(path, encoding="utf-8") as f:
+        payload = strip_timing(json.load(f))
+    return json.dumps(payload, indent=2, sort_keys=True).splitlines(keepends=True)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} A.json B.json", file=sys.stderr)
+        return 2
+    a, b = normalize(argv[1]), normalize(argv[2])
+    if a == b:
+        print(f"metrics match: {argv[1]} == {argv[2]} (timing fields ignored)")
+        return 0
+    sys.stdout.writelines(difflib.unified_diff(a, b, fromfile=argv[1], tofile=argv[2]))
+    print("\nMETRICS DIFFER: parallel execution changed simulation results", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

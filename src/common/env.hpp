@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cerrno>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <climits>
+#include <thread>
 
 namespace hg {
 
@@ -47,6 +49,30 @@ namespace hg {
   const char* text = std::getenv(name);
   if (text == nullptr) return fallback;
   return parse_env_int(name, text, min_value, max_value);
+}
+
+// HG_WORKERS: intra-run worker threads for the superstep-sharded engine.
+// Unset/0 = the classic sequential event loop. Parsed as strictly as
+// HG_SEEDS/HG_THREADS: garbage or out-of-range terminates with exit code 2.
+[[nodiscard]] inline std::size_t env_workers() {
+  return static_cast<std::size_t>(env_int_or("HG_WORKERS", 0, 0, 4096));
+}
+
+// Loud sanity check for the two-level thread budget: `workers` intra-run
+// threads per job × `threads` concurrent jobs. Oversubscribing cores turns a
+// parallelism knob into a slowdown knob, which users reliably misread as a
+// regression — warn, don't die (CI runners legitimately overcommit).
+inline void warn_if_oversubscribed(std::size_t workers, std::size_t threads) {
+  if (workers <= 1 || threads <= 1) return;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  const std::size_t demand = workers * threads;
+  if (demand > hw) {
+    std::fprintf(stderr,
+                 "WARNING: HG_WORKERS=%zu x HG_THREADS=%zu asks for %zu threads on %u "
+                 "hardware cores; expect slowdown, not speedup (results are unaffected)\n",
+                 workers, threads, demand, hw);
+  }
 }
 
 }  // namespace hg

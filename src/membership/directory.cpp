@@ -7,9 +7,21 @@
 namespace hg::membership {
 
 Directory::Directory(sim::Simulator& simulator, DetectionConfig detection)
-    : sim_(simulator),
-      detection_(detection),
-      rng_(simulator.make_rng(/*stream_tag=*/0x4d454d42)) {}  // "MEMB"
+    : detection_(detection),
+      schedule_at_([sim = &simulator](sim::SimTime at, std::function<void()> fn) {
+        sim->after_fire_and_forget(at - sim->now(), std::move(fn));
+      }),
+      now_([sim = &simulator]() { return sim->now(); }),
+      rng_(simulator.make_rng(kDirectoryStream)) {}
+
+Directory::Directory(DetectionConfig detection, Rng rng, ScheduleAtFn schedule_at, NowFn now)
+    : detection_(detection),
+      schedule_at_(std::move(schedule_at)),
+      now_(std::move(now)),
+      rng_(std::move(rng)) {
+  HG_ASSERT(schedule_at_ != nullptr);
+  HG_ASSERT(now_ != nullptr);
+}
 
 void Directory::add_node(NodeId id) {
   HG_ASSERT_MSG(id.value() == alive_.size(), "add nodes with consecutive ids from 0");
@@ -22,17 +34,37 @@ void Directory::kill(NodeId id) {
   if (!alive_[id.value()]) return;
   alive_[id.value()] = false;
   --alive_count_;
+  const sim::SimTime now = now_();
+  const std::int64_t tick = detection_.wheel_tick.as_us();
+  HG_ASSERT_MSG(tick > 0, "DetectionConfig::wheel_tick must be positive");
   for (LocalView* view : views_) {
     if (view->owner() == id) continue;
     const NodeId observer = view->owner();
     const double factor = rng_.uniform(1.0 - detection_.spread, 1.0 + detection_.spread);
     const auto delay = sim::SimTime::us(
         static_cast<std::int64_t>(static_cast<double>(detection_.mean.as_us()) * factor));
-    // Look the view up again at fire time: it may have been destroyed (its
-    // owner torn down) while the detection event was pending.
-    sim_.after_fire_and_forget(delay, [this, observer, id]() {
-      if (LocalView* v = view_of(observer)) v->mark_dead(id);
-    });
+    // Shared detection wheel: the fire time rounds up to the next tick and
+    // joins that bucket; only a fresh bucket schedules an event. A death
+    // costs O(views) bucket pushes but only O(spread / tick) scheduled
+    // events, shared with every other death hitting the same ticks.
+    const std::int64_t bucket = ((now + delay).as_us() + tick - 1) / tick;
+    const auto [it, inserted] = wheel_.try_emplace(bucket);
+    it->second.push_back(Detection{observer, id});
+    if (inserted) {
+      schedule_at_(sim::SimTime::us(bucket * tick), [this, bucket]() { drain(bucket); });
+    }
+  }
+}
+
+void Directory::drain(std::int64_t bucket) {
+  const auto it = wheel_.find(bucket);
+  if (it == wheel_.end()) return;
+  std::vector<Detection> due = std::move(it->second);
+  wheel_.erase(it);
+  for (const Detection& d : due) {
+    // Look the view up at fire time: it may have been destroyed (its owner
+    // torn down) while the detection was pending.
+    if (LocalView* v = view_of(d.observer)) v->mark_dead(d.dead);
   }
 }
 

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -21,15 +23,34 @@ namespace hg::membership {
 
 class LocalView;
 
+// Root stream tag of the directory's detection-delay RNG. The sequential
+// constructor forks it from its Simulator; engine-agnostic wiring should pass
+// engine.make_rng(kDirectoryStream) so both modes draw the same stream.
+inline constexpr std::uint64_t kDirectoryStream = 0x4d454d42;  // "MEMB"
+
 struct DetectionConfig {
   // Detection latency is uniform in [mean*(1-spread), mean*(1+spread)].
   sim::SimTime mean = sim::SimTime::sec(10.0);
   double spread = 0.5;
+  // Per-observer detections are rounded *up* to the next wheel tick and
+  // drained from a shared bucket: one scheduled event per non-empty bucket
+  // instead of one per (death, observer) — a mass crash at 100k views would
+  // otherwise flood the queue with 100k events per death.
+  sim::SimTime wheel_tick = sim::SimTime::ms(250);
 };
 
 class Directory {
  public:
+  // Schedules `fn` at the absolute time given (used for wheel drains).
+  using ScheduleAtFn = std::function<void(sim::SimTime, std::function<void()>)>;
+  using NowFn = std::function<sim::SimTime()>;
+
   Directory(sim::Simulator& simulator, DetectionConfig detection);
+
+  // Engine-agnostic wiring (sharded runs schedule drains as barrier control
+  // tasks): `schedule_at` must execute callbacks single-threaded while the
+  // membership state is quiescent.
+  Directory(DetectionConfig detection, Rng rng, ScheduleAtFn schedule_at, NowFn now);
 
   // Adds a node; all ids must be consecutive from 0.
   void add_node(NodeId id);
@@ -48,12 +69,19 @@ class Directory {
 
  private:
   friend class LocalView;
+  struct Detection {
+    NodeId observer;
+    NodeId dead;
+  };
+
   void register_view(LocalView* view);
   void unregister_view(LocalView* view);
   [[nodiscard]] LocalView* view_of(NodeId owner) const;
+  void drain(std::int64_t bucket);
 
-  sim::Simulator& sim_;
   DetectionConfig detection_;
+  ScheduleAtFn schedule_at_;
+  NowFn now_;
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
   // Registration order (kill() draws per-observer detection delays in this
@@ -62,6 +90,10 @@ class Directory {
   std::vector<LocalView*> views_;
   std::vector<LocalView*> view_by_owner_;
   Rng rng_;
+  // The shared detection wheel: bucket index (fire time / wheel_tick,
+  // rounded up) -> pending detections. Ordered map: drains erase their own
+  // bucket, later kills may re-create it.
+  std::map<std::int64_t, std::vector<Detection>> wheel_;
 };
 
 // A node's (possibly stale) view of the membership.

@@ -66,6 +66,17 @@ double Samples::fraction_at_most(double threshold) const {
   return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
 }
 
+void Samples::merge_from(const Samples& other) {
+  HG_ASSERT_MSG(is_streaming() == other.is_streaming(),
+                "cannot merge exact Samples with streaming Samples");
+  if (sketch_) {
+    sketch_->merge_from(*other.sketch_);
+    return;
+  }
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
 const std::vector<double>& Samples::values() const {
   HG_ASSERT_MSG(!sketch_, "streaming Samples do not retain raw values");
   return values_;

@@ -57,6 +57,11 @@ class Samples {
   // Exact mode only: the raw samples (streaming mode does not retain them).
   [[nodiscard]] const std::vector<double>& values() const;
 
+  // Absorbs `other` (both sides must share the storage mode). Exact mode
+  // appends the raw samples; streaming mode merges the sketches
+  // deterministically (see QuantileReservoir::merge_from).
+  void merge_from(const Samples& other);
+
  private:
   void ensure_sorted() const;
   mutable std::vector<double> values_;

@@ -59,6 +59,48 @@ void QuantileReservoir::collapse_level(std::size_t level) {
   if (dst.size() >= capacity_) collapse_level(level + 1);
 }
 
+void QuantileReservoir::merge_from(const QuantileReservoir& other) {
+  HG_ASSERT_MSG(capacity_ == other.capacity_,
+                "merge requires reservoirs with the same buffer_elems");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Chan et al. parallel-variance combine: exact, like the running Welford.
+  const double n = static_cast<double>(count_);
+  const double m = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (n * mean_ + m * other.mean_) / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  count_ += other.count_;
+
+  for (std::size_t level = 0; level < other.levels_.size(); ++level) {
+    const std::vector<double>& src = other.levels_[level];
+    if (src.empty()) continue;
+    while (levels_.size() <= level) {
+      levels_.emplace_back();
+      levels_.back().reserve(capacity_);
+      take_odd_.push_back(false);
+    }
+    std::vector<double>& dst = levels_[level];
+    const std::size_t old_size = dst.size();
+    dst.insert(dst.end(), src.begin(), src.end());
+    if (level > 0) {
+      // Higher levels stay sorted (collapse_level relies on it).
+      std::inplace_merge(dst.begin(), dst.begin() + static_cast<std::ptrdiff_t>(old_size),
+                         dst.end());
+    }
+    // Each input level holds < capacity_ elements, so one collapse (which
+    // empties the level, recursing upward as needed) restores the invariant.
+    if (dst.size() >= capacity_) collapse_level(level);
+  }
+  scratch_valid_ = false;
+}
+
 std::size_t QuantileReservoir::retained() const {
   std::size_t n = 0;
   for (const auto& l : levels_) n += l.size();

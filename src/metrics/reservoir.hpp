@@ -45,6 +45,13 @@ class QuantileReservoir {
   // Fraction of samples <= threshold; 0.0 when empty (matching Samples).
   [[nodiscard]] double fraction_at_most(double threshold) const;
 
+  // Absorbs `other` (same buffer_elems required): exact accumulators combine
+  // exactly; sketch levels merge level-by-level with the usual collapse on
+  // overflow. Deterministic — merging the same reservoirs in the same order
+  // always yields the same sketch, so per-partition reservoirs reduce to a
+  // run-level one independent of the worker count.
+  void merge_from(const QuantileReservoir& other);
+
   // Elements currently held across all levels (introspection/tests).
   [[nodiscard]] std::size_t retained() const;
 

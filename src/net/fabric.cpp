@@ -1,18 +1,48 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace hg::net {
 
+namespace {
+constexpr std::uint64_t kFabricStream = 0x4e455446;    // "NETF"
+constexpr std::uint64_t kTiebreakStream = 0x54424b53;  // "TBKS"
+}  // namespace
+
 NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
                              std::unique_ptr<LossModel> loss, FabricConfig config)
-    : sim_(simulator),
+    : sim_(&simulator),
       latency_(std::move(latency)),
       loss_(std::move(loss)),
       config_(config),
-      rng_(simulator.make_rng(/*stream_tag=*/0x4e455446)) {  // "NETF"
+      rng_(simulator.make_rng(kFabricStream)) {
   HG_ASSERT(latency_ != nullptr);
   HG_ASSERT(loss_ != nullptr);
+}
+
+NetworkFabric::NetworkFabric(sim::ShardedEngine& engine, std::unique_ptr<LatencyModel> latency,
+                             std::unique_ptr<LossModel> loss, FabricConfig config)
+    : engine_(&engine),
+      latency_(std::move(latency)),
+      loss_(std::move(loss)),
+      config_(config),
+      rng_(engine.make_rng(kFabricStream)) {
+  HG_ASSERT(latency_ != nullptr);
+  HG_ASSERT(loss_ != nullptr);
+  HG_ASSERT_MSG(engine.partitions() == 1 || latency_->min_delay() >= engine.epoch(),
+                "latency floor below the engine's epoch width breaks the superstep "
+                "delivery invariant");
+  // Loss is evaluated concurrently across sender partitions: per-sender
+  // state must exist up front instead of growing lazily under a race.
+  loss_->prepare(engine.node_count());
+  parts_.reserve(engine.partitions());
+  for (std::uint32_t p = 0; p < engine.partitions(); ++p) {
+    parts_.emplace_back(&engine.sim_of(p), engine.sim_of(p).make_rng(kFabricStream));
+  }
+  tiebreak_salt_ = engine.make_rng(kTiebreakStream).next();
+  engine.set_bridge(this);
 }
 
 NetworkFabric::Shard::Shard() {
@@ -29,7 +59,9 @@ void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn 
                 "register nodes with consecutive ids from 0 (shards index by id)");
   if (id.value() / kShardSize == shards_.size()) shards_.push_back(std::make_unique<Shard>());
   Shard& s = *shards_.back();
-  s.links.emplace_back(sim_, upload_capacity, config_.discipline,
+  // Node_count_ is bumped after sim_for (it asserts against the engine's
+  // node table, which already covers this id).
+  s.links.emplace_back(sim_for(id), upload_capacity, config_.discipline,
                        [this](Datagram&& d) { on_wire(std::move(d)); });
   s.receive.push_back(std::move(receive));
   s.meters.emplace_back();
@@ -50,25 +82,116 @@ void NetworkFabric::send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes,
   s.links[i].enqueue(std::move(d));
 }
 
+std::uint64_t NetworkFabric::cross_tiebreak(NodeId src, NodeId dst, std::uint64_t seq) const {
+  std::uint64_t state = tiebreak_salt_ ^ (static_cast<std::uint64_t>(src.value()) << 32) ^
+                        static_cast<std::uint64_t>(dst.value()) ^
+                        (seq * 0x2545f4914f6cdd1dull);
+  return splitmix64(state);
+}
+
 void NetworkFabric::on_wire(Datagram&& d) {
   // The datagram has fully left the sender: this is what "used upload
   // bandwidth" means (Fig. 4), loss or not.
   shard(d.src).meters[index_in_shard(d.src)].on_sent(d.cls, d.wire_bytes());
-  // Loss is evaluated when the datagram leaves the sender.
-  if (loss_->lost(d.src, d.dst, rng_)) {
-    ++lost_;
+  if (engine_ == nullptr) {
+    // Sequential path (unchanged — bitwise stability of existing runs).
+    // Loss is evaluated when the datagram leaves the sender.
+    if (loss_->lost(d.src, d.dst, rng_)) {
+      ++lost_;
+      shard(d.src).meters[index_in_shard(d.src)].on_dropped_in_flight(d.wire_bytes());
+      return;
+    }
+    const sim::SimTime delay = latency_->sample(d.src, d.dst, rng_);
+    sim_->after_fire_and_forget(delay, [this, d = std::move(d)]() {
+      Shard& r = shard(d.dst);
+      const std::size_t i = index_in_shard(d.dst);
+      if (r.alive[i] == 0) return;  // crashed while in flight
+      ++delivered_;
+      r.meters[i].on_received(d.cls, d.wire_bytes());
+      if (r.receive[i]) r.receive[i](d);
+    });
+    return;
+  }
+
+  // Sharded path: this runs on the *sender's* partition (the upload link
+  // schedules its transmit completions there), so loss/latency draws come
+  // from the sender partition's private stream in deterministic local order.
+  const std::uint32_t sp = engine_->partition_of(d.src.value());
+  Partition& part = parts_[sp];
+  if (loss_->lost(d.src, d.dst, part.rng)) {
+    ++part.lost;
     shard(d.src).meters[index_in_shard(d.src)].on_dropped_in_flight(d.wire_bytes());
     return;
   }
-  const sim::SimTime delay = latency_->sample(d.src, d.dst, rng_);
-  sim_.after_fire_and_forget(delay, [this, d = std::move(d)]() {
-    Shard& r = shard(d.dst);
-    const std::size_t i = index_in_shard(d.dst);
-    if (r.alive[i] == 0) return;  // crashed while in flight
-    ++delivered_;
-    r.meters[i].on_received(d.cls, d.wire_bytes());
-    if (r.receive[i]) r.receive[i](d);
-  });
+  const sim::SimTime delay = latency_->sample(d.src, d.dst, part.rng);
+  const std::uint32_t dp = engine_->partition_of(d.dst.value());
+  if (dp == sp) {
+    part.sim->after_fire_and_forget(delay,
+                                    [this, d = std::move(d)]() { deliver_parallel(d); });
+    return;
+  }
+  const sim::SimTime arrive = part.sim->now() + delay;
+  const std::uint64_t tb = cross_tiebreak(d.src, d.dst, part.outbox.size());
+  part.outbox.push_back(OutMsg{std::move(d), arrive, tb, sp, dp});
+}
+
+void NetworkFabric::deliver_parallel(const Datagram& d) {
+  Shard& r = shard(d.dst);
+  const std::size_t i = index_in_shard(d.dst);
+  if (r.alive[i] == 0) return;  // crashed while in flight
+  ++parts_[engine_->partition_of(d.dst.value())].delivered;
+  r.meters[i].on_received(d.cls, d.wire_bytes());
+  if (r.receive[i]) r.receive[i](d);
+}
+
+void NetworkFabric::begin_epoch(std::uint32_t partition) {
+  // Release last epoch's cross-partition datagrams on the owning worker:
+  // their BufferRefs recycle into this thread's pool (refcounts are
+  // non-atomic, so only the allocating thread may drop them while the run
+  // is hot). Importers deep-copied the bytes at the barrier.
+  parts_[partition].outbox.clear();
+}
+
+void NetworkFabric::exchange(std::uint32_t partition) {
+  Partition& dst = parts_[partition];
+  dst.import_scratch.clear();
+  for (const Partition& src : parts_) {
+    for (const OutMsg& m : src.outbox) {
+      if (m.dst_partition == partition) dst.import_scratch.push_back(&m);
+    }
+  }
+  // Deterministic import order, independent of the worker count: arrival
+  // time, then a seed-derived tiebreak, then source partition, then send
+  // order (address order within one outbox is index order).
+  std::sort(dst.import_scratch.begin(), dst.import_scratch.end(),
+            [](const OutMsg* a, const OutMsg* b) {
+              if (a->arrive != b->arrive) return a->arrive < b->arrive;
+              if (a->tiebreak != b->tiebreak) return a->tiebreak < b->tiebreak;
+              if (a->src_partition != b->src_partition) {
+                return a->src_partition < b->src_partition;
+              }
+              return a < b;
+            });
+  for (const OutMsg* m : dst.import_scratch) {
+    // Deep copy on the importing worker's thread: destination-held bytes
+    // must belong to the destination's thread-local pool.
+    Datagram copy{m->d.src, m->d.dst, m->d.cls, BufferRef::copy_of(m->d.bytes.bytes()),
+                  m->d.phantom_bytes};
+    dst.sim->at(m->arrive, [this, c = std::move(copy)]() { deliver_parallel(c); });
+  }
+  dst.import_scratch.clear();
+}
+
+std::uint64_t NetworkFabric::datagrams_lost() const {
+  std::uint64_t total = lost_;
+  for (const Partition& p : parts_) total += p.lost;
+  return total;
+}
+
+std::uint64_t NetworkFabric::datagrams_delivered() const {
+  std::uint64_t total = delivered_;
+  for (const Partition& p : parts_) total += p.delivered;
+  return total;
 }
 
 void NetworkFabric::kill(NodeId id) {

@@ -14,6 +14,17 @@
 // delivery hot path, and each per-field array stays dense — the alive check
 // and meter bump of a delivery touch two small arrays instead of a scattered
 // 100-byte Entry.
+//
+// Two execution modes share this class:
+//  * sequential — one Simulator drives everything (the classic engine);
+//  * sharded — a sim::ShardedEngine drives per-partition Simulators. The
+//    fabric then routes intra-partition sends to the local event queue and
+//    buffers cross-partition sends in per-partition outboxes; as the
+//    engine's PartitionBridge it exchanges those at every epoch barrier,
+//    ordering imports by (arrival, seed-derived tiebreak, source partition,
+//    send order) so results are identical for any worker count. Loss and
+//    latency draw from per-partition RNG streams, and per-partition
+//    lost/delivered counters are summed (deterministically) on read.
 #pragma once
 
 #include <functional>
@@ -28,6 +39,7 @@
 #include "net/loss.hpp"
 #include "net/traffic_meter.hpp"
 #include "net/upload_link.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace hg::net {
@@ -38,9 +50,15 @@ struct FabricConfig {
   QueueDiscipline discipline = QueueDiscipline::kFifo;
 };
 
-class NetworkFabric {
+class NetworkFabric final : public sim::PartitionBridge {
  public:
   NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+                std::unique_ptr<LossModel> loss, FabricConfig config = {});
+
+  // Sharded mode: registers itself as `engine`'s PartitionBridge and routes
+  // each node's traffic through its partition's Simulator. The latency
+  // model's min_delay() must be >= the engine's epoch width.
+  NetworkFabric(sim::ShardedEngine& engine, std::unique_ptr<LatencyModel> latency,
                 std::unique_ptr<LossModel> loss, FabricConfig config = {});
 
   // Nodes must be registered with consecutive ids starting at 0. The
@@ -52,7 +70,8 @@ class NetworkFabric {
   void send(NodeId src, NodeId dst, MsgClass cls, BufferRef bytes,
             std::int64_t phantom_bytes = 0);
 
-  // Crash-stop: the node neither sends nor receives from now on.
+  // Crash-stop: the node neither sends nor receives from now on. In sharded
+  // mode this must run from a barrier control task (workers quiescent).
   void kill(NodeId id);
   [[nodiscard]] bool alive(NodeId id) const {
     return shard(id).alive[index_in_shard(id)] != 0;
@@ -69,8 +88,12 @@ class NetworkFabric {
   }
   [[nodiscard]] std::size_t node_count() const { return node_count_; }
 
-  [[nodiscard]] std::uint64_t datagrams_lost() const { return lost_; }
-  [[nodiscard]] std::uint64_t datagrams_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t datagrams_lost() const;
+  [[nodiscard]] std::uint64_t datagrams_delivered() const;
+
+  // PartitionBridge (engine-driven; not for direct use).
+  void begin_epoch(std::uint32_t partition) override;
+  void exchange(std::uint32_t partition) override;
 
   // Nodes per shard. Shards are address-stable: every per-node vector inside
   // a shard is reserved to this capacity up front and never reallocates.
@@ -85,6 +108,28 @@ class NetworkFabric {
     std::vector<std::uint8_t> alive;     // hot: checked on every delivery
   };
 
+  // A cross-partition datagram parked until the next epoch barrier.
+  struct OutMsg {
+    Datagram d;
+    sim::SimTime arrive;
+    std::uint64_t tiebreak;      // seed-derived; independent of worker count
+    std::uint32_t src_partition;
+    std::uint32_t dst_partition;
+  };
+
+  // Everything one partition touches while its worker runs an epoch. Loss,
+  // latency jitter, counters, and the outbox are partition-private, so no
+  // state is shared between concurrently running partitions.
+  struct Partition {
+    Partition(sim::Simulator* s, Rng r) : sim(s), rng(std::move(r)) {}
+    sim::Simulator* sim;
+    Rng rng;
+    std::uint64_t lost = 0;
+    std::uint64_t delivered = 0;
+    std::vector<OutMsg> outbox;
+    std::vector<const OutMsg*> import_scratch;
+  };
+
   [[nodiscard]] Shard& shard(NodeId id) {
     HG_ASSERT(id.value() < node_count_);
     return *shards_[id.value() / kShardSize];
@@ -97,18 +142,27 @@ class NetworkFabric {
     return id.value() % kShardSize;
   }
   [[nodiscard]] UploadLink& link_mut(NodeId id) { return shard(id).links[index_in_shard(id)]; }
+  [[nodiscard]] sim::Simulator& sim_for(NodeId id) {
+    return engine_ != nullptr ? engine_->sim_of_node(id.value()) : *sim_;
+  }
 
   void on_wire(Datagram&& d);
+  void deliver_parallel(const Datagram& d);
+  [[nodiscard]] std::uint64_t cross_tiebreak(NodeId src, NodeId dst,
+                                             std::uint64_t seq) const;
 
-  sim::Simulator& sim_;
+  sim::Simulator* sim_ = nullptr;         // sequential mode only
+  sim::ShardedEngine* engine_ = nullptr;  // sharded mode only
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<LossModel> loss_;
   FabricConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t node_count_ = 0;
-  Rng rng_;
-  std::uint64_t lost_ = 0;
+  Rng rng_;                // sequential mode: the single loss+latency stream
+  std::uint64_t lost_ = 0;       // sequential mode counters
   std::uint64_t delivered_ = 0;
+  std::vector<Partition> parts_;  // sharded mode
+  std::uint64_t tiebreak_salt_ = 0;
 };
 
 }  // namespace hg::net

@@ -20,6 +20,11 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
   // One-way delay for a datagram src -> dst sent now.
   [[nodiscard]] virtual sim::SimTime sample(NodeId src, NodeId dst, Rng& rng) = 0;
+  // A hard lower bound on sample(): the sharded engine uses it as the
+  // superstep width (a cross-partition message sent in epoch k must not
+  // arrive before epoch k+1 starts). Zero (the conservative default)
+  // disables intra-run parallelism for the model.
+  [[nodiscard]] virtual sim::SimTime min_delay() const { return sim::SimTime::zero(); }
 };
 
 // Fixed delay for every packet (unit tests, analytical checks).
@@ -27,6 +32,7 @@ class ConstantLatency final : public LatencyModel {
  public:
   explicit ConstantLatency(sim::SimTime delay) : delay_(delay) {}
   sim::SimTime sample(NodeId, NodeId, Rng&) override { return delay_; }
+  [[nodiscard]] sim::SimTime min_delay() const override { return delay_; }
 
  private:
   sim::SimTime delay_;
@@ -37,6 +43,7 @@ class UniformLatency final : public LatencyModel {
  public:
   UniformLatency(sim::SimTime lo, sim::SimTime hi) : lo_(lo), hi_(hi) {}
   sim::SimTime sample(NodeId, NodeId, Rng& rng) override;
+  [[nodiscard]] sim::SimTime min_delay() const override { return lo_; }
 
  private:
   sim::SimTime lo_;
@@ -61,6 +68,10 @@ class PlanetLabLatency final : public LatencyModel {
  public:
   PlanetLabLatency(PlanetLabLatencyConfig cfg, Rng rng);
   sim::SimTime sample(NodeId src, NodeId dst, Rng& rng) override;
+  // Bases are clamped to min_ms and jitter is non-negative.
+  [[nodiscard]] sim::SimTime min_delay() const override {
+    return sim::SimTime::us(static_cast<std::int64_t>(cfg_.min_ms * 1000.0));
+  }
 
  private:
   [[nodiscard]] sim::SimTime base_for(NodeId src, NodeId dst) const;

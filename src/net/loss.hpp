@@ -14,6 +14,10 @@ class LossModel {
   virtual ~LossModel() = default;
   // True if the datagram src -> dst is dropped in flight.
   [[nodiscard]] virtual bool lost(NodeId src, NodeId dst, Rng& rng) = 0;
+  // Pre-sizes any per-node state for `node_count` nodes. The sharded engine
+  // evaluates loss concurrently across sender partitions; models with lazily
+  // grown per-sender state must allocate it up front here.
+  virtual void prepare(std::size_t node_count) { (void)node_count; }
 };
 
 class NoLoss final : public LossModel {
@@ -46,6 +50,9 @@ class GilbertElliottLoss final : public LossModel {
   explicit GilbertElliottLoss(Config cfg) : cfg_(cfg) {}
 
   bool lost(NodeId src, NodeId dst, Rng& rng) override;
+  void prepare(std::size_t node_count) override {
+    if (bad_.size() < node_count) bad_.resize(node_count, 0);
+  }
 
  private:
   Config cfg_;

@@ -35,12 +35,15 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
   std::unique_ptr<Deployment> d(new Deployment());
   d->stream_ = stream_;
   d->churn_ = churn_;
-  d->sim_ = std::make_unique<sim::Simulator>(seed_);
-  sim::Simulator& sim = *d->sim_;
 
+  const std::size_t total = population_.node_count + 1;  // + source
+
+  // Latency first: the sharded engine's epoch width is the latency floor.
+  // Rng(seed).fork(tag) is exactly what both engines' make_rng(tag) returns,
+  // so the latency base stream is identical in every mode.
   std::unique_ptr<net::LatencyModel> latency;
   if (network_.latency.has_value()) {
-    latency = std::make_unique<net::PlanetLabLatency>(*network_.latency, sim.make_rng(7));
+    latency = std::make_unique<net::PlanetLabLatency>(*network_.latency, Rng(seed_).fork(7));
   } else {
     latency = std::make_unique<net::ConstantLatency>(sim::SimTime::ms(30));
   }
@@ -50,12 +53,54 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
   } else {
     loss = std::make_unique<net::NoLoss>();
   }
-  d->fabric_ = std::make_unique<net::NetworkFabric>(sim, std::move(latency), std::move(loss),
-                                                    net::FabricConfig{network_.discipline});
-  d->directory_ = std::make_unique<membership::Directory>(sim, churn_.detection);
 
-  const std::size_t total = population_.node_count + 1;  // + source
+  if (parallel_.workers == 0) {
+    d->sim_ = std::make_unique<sim::Simulator>(seed_);
+  } else {
+    const sim::SimTime epoch = latency->min_delay();
+    std::uint32_t parts = parallel_.partitions;
+    if (parts == 0) {
+      // Auto: one partition per ~64 nodes, capped — tiny runs stay effectively
+      // sequential, big runs get enough blocks for 16 workers.
+      parts = static_cast<std::uint32_t>(
+          std::min<std::size_t>(16, std::max<std::size_t>(1, total / 64)));
+    }
+    if (epoch <= sim::SimTime::zero() && parts > 1) {
+      HG_LOG_WARN(
+          "latency model has a zero delay floor: superstep epochs cannot bound "
+          "cross-partition traffic, forcing partitions=1 (was %u)",
+          parts);
+      parts = 1;
+    }
+    d->engine_ = std::make_unique<sim::ShardedEngine>(
+        seed_, total, sim::ShardedEngine::Config{parts, parallel_.workers, epoch});
+  }
+
+  if (d->engine_ != nullptr) {
+    d->fabric_ = std::make_unique<net::NetworkFabric>(*d->engine_, std::move(latency),
+                                                      std::move(loss),
+                                                      net::FabricConfig{network_.discipline});
+    sim::ShardedEngine* engine = d->engine_.get();
+    d->directory_ = std::make_unique<membership::Directory>(
+        churn_.detection, engine->make_rng(membership::kDirectoryStream),
+        [engine](sim::SimTime at, std::function<void()> fn) {
+          engine->schedule_control(at, std::move(fn));
+        },
+        [engine]() { return engine->now(); });
+  } else {
+    d->fabric_ = std::make_unique<net::NetworkFabric>(*d->sim_, std::move(latency),
+                                                      std::move(loss),
+                                                      net::FabricConfig{network_.discipline});
+    d->directory_ = std::make_unique<membership::Directory>(*d->sim_, churn_.detection);
+  }
+
   for (std::uint32_t i = 0; i < total; ++i) d->directory_->add_node(NodeId{i});
+
+  // Each node's stack runs on its own partition's simulator (the sequential
+  // engine is "one partition" here).
+  auto sim_of = [&d](NodeId id) -> sim::Simulator& {
+    return d->engine_ != nullptr ? d->engine_->sim_of_node(id.value()) : *d->sim_;
+  };
 
   NodeFactory make_node = factory_;
   if (!make_node) {
@@ -69,12 +114,13 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
   core::NodeConfig source_cfg = population_.node;
   source_cfg.mode = core::Mode::kStandard;  // the broadcaster does not adapt
   source_cfg.capability = population_.source_capability;
-  d->source_node_ = make_node(sim, *d->fabric_, *d->directory_, NodeId{0}, source_cfg);
+  d->source_node_ =
+      make_node(sim_of(NodeId{0}), *d->fabric_, *d->directory_, NodeId{0}, source_cfg);
   d->source_node_->attach(population_.source_capability);
 
   // --- receivers ----------------------------------------------------------
-  Rng assign_rng = sim.make_rng(kAssignStream);
-  Rng noise_rng = sim.make_rng(kNoiseStream);
+  Rng assign_rng = Rng(seed_).fork(kAssignStream);
+  Rng noise_rng = Rng(seed_).fork(kNoiseStream);
   const auto assignment = population_.distribution.assign(population_.node_count, assign_rng);
 
   d->receivers_.reserve(population_.node_count);
@@ -93,9 +139,9 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
 
     core::NodeConfig node_cfg = population_.node;
     node_cfg.capability = r.info.capability;
-    r.node = make_node(sim, *d->fabric_, *d->directory_, id, node_cfg);
+    r.node = make_node(sim_of(id), *d->fabric_, *d->directory_, id, node_cfg);
     r.player = std::make_unique<stream::Player>(
-        sim, stream_.stream, stream_.windows,
+        sim_of(id), stream_.stream, stream_.windows,
         population_.lean_players ? stream::Player::Recording::kLean
                                  : stream::Player::Recording::kFull);
     r.player->set_smart(population_.smart_receivers);
@@ -109,20 +155,42 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
 
   // --- stream source app ---------------------------------------------------
   d->source_ = std::make_unique<stream::StreamSource>(
-      sim, stream_.stream,
+      sim_of(NodeId{0}), stream_.stream,
       [source_node = d->source_node_.get()](gossip::Event e) {
         source_node->publish(std::move(e));
       });
 
   // --- churn ----------------------------------------------------------------
   // Armed here, not in start(): same-time events fire in scheduling order,
-  // and crashes must preempt protocol timers tied to the same timestamp.
+  // and crashes must preempt protocol timers tied to the same timestamp. The
+  // sharded engine gives the same guarantee structurally: control tasks run
+  // at the barrier before any partition's local events at that time.
   Deployment* dp = d.get();
   for (const ChurnEvent& event : churn_.schedule) {
-    dp->sim_->at(event.at, [dp, event]() { dp->apply_churn(event); });
+    dp->schedule_control(event.at, [dp, event]() { dp->apply_churn(event); });
   }
 
   return d;
+}
+
+std::uint64_t Deployment::run_until(sim::SimTime until) {
+  return engine_ != nullptr ? engine_->run_until(until) : sim_->run_until(until);
+}
+
+void Deployment::schedule_control(sim::SimTime when, std::function<void()> fn) {
+  if (engine_ != nullptr) {
+    engine_->schedule_control(when, std::move(fn));
+  } else {
+    sim_->at(when, std::move(fn));
+  }
+}
+
+sim::SimTime Deployment::now() const {
+  return engine_ != nullptr ? engine_->now() : sim_->now();
+}
+
+std::uint64_t Deployment::events_executed() const {
+  return engine_ != nullptr ? engine_->events_executed() : sim_->events_executed();
 }
 
 void Deployment::start() {
@@ -135,7 +203,8 @@ void Deployment::start() {
 }
 
 void Deployment::apply_churn(const ChurnEvent& event) {
-  Rng churn_rng = sim_->make_rng(kChurnStream ^ static_cast<std::uint64_t>(event.at.as_us()));
+  const std::uint64_t tag = kChurnStream ^ static_cast<std::uint64_t>(event.at.as_us());
+  Rng churn_rng = engine_ != nullptr ? engine_->make_rng(tag) : sim_->make_rng(tag);
   std::vector<std::size_t> alive_idx;
   for (std::size_t i = 0; i < receivers_.size(); ++i) {
     if (!receivers_[i].info.crashed) alive_idx.push_back(i);
@@ -149,7 +218,7 @@ void Deployment::apply_churn(const ChurnEvent& event) {
   for (std::size_t k = 0; k < n; ++k) {
     Receiver& r = receivers_[alive_idx[k]];
     r.info.crashed = true;
-    r.info.crashed_at = sim_->now();
+    r.info.crashed_at = now();
     r.node->stop();
     fabric_->kill(r.info.id);
     directory_->kill(r.info.id);

@@ -16,10 +16,12 @@
 #include <optional>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "core/node_runtime.hpp"
 #include "membership/directory.hpp"
 #include "net/fabric.hpp"
 #include "scenario/distribution.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 #include "stream/player.hpp"
 #include "stream/source.hpp"
@@ -69,6 +71,18 @@ struct ChurnPlan {
   membership::DetectionConfig detection;  // failure-detection latency
 };
 
+struct ParallelPlan {
+  // 0 = classic sequential event loop (the default; bitwise-identical to all
+  // previous releases). >= 1 = superstep-sharded engine driven by this many
+  // worker threads. Results of a sharded run depend only on seed and
+  // partition count — every workers >= 1 value yields identical bytes.
+  std::size_t workers = 0;
+  // Logical partition count; 0 = auto (scales with the population, capped at
+  // 16). Fixed by configuration and never derived from `workers`, so the
+  // thread count can change between machines without changing results.
+  std::uint32_t partitions = 0;
+};
+
 struct ReceiverInfo {
   NodeId id;
   int class_index = 0;
@@ -112,6 +126,10 @@ class Deployment {
       churn_ = std::move(plan);
       return *this;
     }
+    Builder& parallel(ParallelPlan plan) {
+      parallel_ = plan;
+      return *this;
+    }
     Builder& node_factory(NodeFactory factory) {
       factory_ = std::move(factory);
       return *this;
@@ -129,6 +147,7 @@ class Deployment {
     PopulationPlan population_;
     StreamPlan stream_;
     ChurnPlan churn_;
+    ParallelPlan parallel_;
     NodeFactory factory_;
   };
 
@@ -137,10 +156,33 @@ class Deployment {
   ~Deployment();
 
   // Starts the source and the protocol stacks on every node (the churn
-  // schedule is armed at build()). Call once, then drive sim().run_until().
+  // schedule is armed at build()). Call once, then drive run_until().
   void start();
 
-  [[nodiscard]] sim::Simulator& sim() { return *sim_; }
+  // True when the deployment runs on the superstep-sharded engine. The
+  // engine-agnostic driver surface below works in both modes; sim() and
+  // engine() are mode-specific.
+  [[nodiscard]] bool parallel() const { return engine_ != nullptr; }
+  [[nodiscard]] sim::ShardedEngine& engine() {
+    HG_ASSERT_MSG(engine_ != nullptr, "engine() requires a parallel deployment");
+    return *engine_;
+  }
+
+  // Advances the deployment to `until` (inclusive, like Simulator::run_until)
+  // on whichever engine drives it. Returns events executed by this call.
+  std::uint64_t run_until(sim::SimTime until);
+  // Schedules `fn` at absolute time `when`; in sharded mode it runs as a
+  // single-threaded barrier control task, before local events at that time.
+  void schedule_control(sim::SimTime when, std::function<void()> fn);
+  [[nodiscard]] sim::SimTime now() const;
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  [[nodiscard]] sim::Simulator& sim() {
+    HG_ASSERT_MSG(sim_ != nullptr,
+                  "no global simulator in a parallel deployment — drive it via "
+                  "run_until()/schedule_control()/now()");
+    return *sim_;
+  }
   [[nodiscard]] net::NetworkFabric& fabric() { return *fabric_; }
   [[nodiscard]] const net::NetworkFabric& fabric() const { return *fabric_; }
   [[nodiscard]] membership::Directory& directory() { return *directory_; }
@@ -176,6 +218,10 @@ class Deployment {
 
   StreamPlan stream_;
   ChurnPlan churn_;
+  // Exactly one of engine_/sim_ is set. engine_ is declared first: the
+  // partition simulators it owns must outlive every component holding a
+  // Simulator reference (links, nodes, players).
+  std::unique_ptr<sim::ShardedEngine> engine_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::NetworkFabric> fabric_;
   std::unique_ptr<membership::Directory> directory_;

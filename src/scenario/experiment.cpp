@@ -42,6 +42,8 @@ StreamPlan ExperimentConfig::stream_plan() const {
 
 ChurnPlan ExperimentConfig::churn_plan() const { return ChurnPlan{churn, detection}; }
 
+ParallelPlan ExperimentConfig::parallel_plan() const { return ParallelPlan{workers, partitions}; }
+
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
 
 Experiment::~Experiment() = default;
@@ -56,6 +58,7 @@ void Experiment::run() {
                     .population(config_.population_plan())
                     .stream(config_.stream_plan())
                     .churn(config_.churn_plan())
+                    .parallel(config_.parallel_plan())
                     .node_factory(config_.node_factory)
                     .build();
   deployment_->start();
@@ -63,15 +66,17 @@ void Experiment::run() {
   analyzer_ = std::make_unique<stream::LagAnalyzer>(deployment_->source());
 
   // Snapshot upload counters when the stream ends: Fig. 4's usage is the
-  // mean upload rate while the stream is live.
-  deployment_->sim().at(config_.stream_end(), [this]() {
+  // mean upload rate while the stream is live. In parallel mode the snapshot
+  // is a barrier control task — every partition has drained to stream_end()
+  // before it reads the meters.
+  deployment_->schedule_control(config_.stream_end(), [this]() {
     for (std::size_t i = 0; i < deployment_->receivers(); ++i) {
       ReceiverInfo& info = deployment_->info(i);
       info.uploaded_bytes_at_stream_end = deployment_->meter(i).total_sent_bytes();
     }
   });
 
-  deployment_->sim().run_until(config_.run_end());
+  deployment_->run_until(config_.run_end());
 }
 
 double Experiment::upload_usage(std::size_t i) const {

@@ -66,6 +66,12 @@ struct ExperimentConfig {
   bool virtual_payloads = false;
   bool lean_players = false;
 
+  // Intra-run parallelism (see ParallelPlan): workers == 0 runs the classic
+  // sequential loop; workers >= 1 runs the superstep-sharded engine, whose
+  // results depend only on seed and partitions — never on workers.
+  std::size_t workers = 0;
+  std::uint32_t partitions = 0;  // 0 = auto
+
   // Optional override for the protocol stack each node runs (mixed
   // populations, instrumented stacks). Null: preset selected by `mode`.
   Deployment::NodeFactory node_factory;
@@ -84,6 +90,7 @@ struct ExperimentConfig {
   [[nodiscard]] PopulationPlan population_plan() const;
   [[nodiscard]] StreamPlan stream_plan() const;
   [[nodiscard]] ChurnPlan churn_plan() const;
+  [[nodiscard]] ParallelPlan parallel_plan() const;
 };
 
 class Experiment {
@@ -116,8 +123,13 @@ class Experiment {
   }
   [[nodiscard]] const net::NetworkFabric& fabric() const { return deployment_->fabric(); }
   [[nodiscard]] const stream::StreamSource& source() const { return deployment_->source(); }
+  // Sequential runs only — asserts in parallel mode; prefer the
+  // engine-agnostic accessors below.
   [[nodiscard]] sim::Simulator& simulator() { return deployment_->sim(); }
   [[nodiscard]] Deployment& deployment() { return *deployment_; }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return deployment_->events_executed();
+  }
 
   // Mean upload usage (fraction of actual capacity) over the stream
   // interval, including all protocol overhead — Fig. 4's quantity.

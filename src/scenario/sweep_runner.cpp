@@ -1,5 +1,6 @@
 #include "scenario/sweep_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -34,6 +35,11 @@ void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
+  }
+  // Jobs that parallelize internally (intra-run workers) draw from the same
+  // budget: divide it between the two levels instead of multiplying them.
+  if (options_.workers_per_job > 1) {
+    threads = std::max<std::size_t>(1, threads / options_.workers_per_job);
   }
   threads = std::min(threads, n);
 

@@ -28,8 +28,15 @@
 namespace hg::scenario {
 
 struct SweepOptions {
-  // 0 = one thread per hardware core (capped by the number of jobs).
+  // Total thread budget. 0 = one thread per hardware core (capped by the
+  // number of jobs).
   std::size_t threads = 0;
+  // Intra-run workers each job uses (ExperimentConfig::workers). The runner
+  // composes both levels under the one budget: outer concurrency becomes
+  // max(1, threads / workers_per_job), so 16 threads with 4-worker jobs run
+  // 4 experiments at a time instead of oversubscribing 64 threads. Purely a
+  // scheduling hint — results never depend on it.
+  std::size_t workers_per_job = 0;
 };
 
 class SweepRunner {

@@ -1,0 +1,66 @@
+#include "sim/parallel.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::sim {
+
+WorkerPool::WorkerPool(std::size_t workers) : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w]() { thread_main(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run_share(std::size_t worker) {
+  const std::function<void(std::size_t)>& job = *job_;
+  for (std::size_t i = worker; i < n_; i += workers_) job(i);
+}
+
+void WorkerPool::thread_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&]() { return stop_ || round_ != seen; });
+      if (stop_) return;
+      seen = round_;
+    }
+    run_share(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& job) {
+  if (n == 0) return;
+  if (workers_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HG_ASSERT_MSG(pending_ == 0, "WorkerPool::run is not reentrant");
+    n_ = n;
+    job_ = &job;
+    pending_ = workers_ - 1;
+    ++round_;
+  }
+  start_cv_.notify_all();
+  run_share(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&]() { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace hg::sim

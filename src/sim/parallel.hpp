@@ -1,0 +1,57 @@
+// Fork-join worker pool for the sharded superstep engine.
+//
+// A fixed set of persistent threads executes index ranges with a *static*
+// assignment (index i runs on worker i % workers): a partition is always
+// driven by the same thread, so its thread-local buffer pool keeps recycling
+// its own chunks and no state ever migrates between threads mid-run.
+// Determinism never depends on this mapping — partitions share nothing while
+// a phase runs — but cache and pool locality do.
+//
+// run() is a barrier: it returns only after every index has been processed.
+// The calling thread doubles as worker 0, so a single-worker pool spawns no
+// threads at all and adds no synchronization to the sequential path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hg::sim {
+
+class WorkerPool {
+ public:
+  // `workers` >= 1; workers - 1 threads are spawned (the caller is worker 0).
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  // Executes job(i) for i in [0, n), index i on worker i % workers. Blocks
+  // until all indices have completed. Exceptions in jobs are not supported
+  // (the simulation aborts on internal errors instead of throwing).
+  void run(std::size_t n, const std::function<void(std::size_t)>& job);
+
+ private:
+  void thread_main(std::size_t worker);
+  void run_share(std::size_t worker);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t round_ = 0;     // bumped per run(); threads wait for the next round
+  std::size_t n_ = 0;           // indices in the current round
+  std::size_t pending_ = 0;     // workers still running the current round
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace hg::sim

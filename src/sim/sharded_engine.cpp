@@ -1,0 +1,101 @@
+#include "sim/sharded_engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::sim {
+
+ShardedEngine::ShardedEngine(std::uint64_t seed, std::size_t node_count, Config config)
+    : node_count_(node_count),
+      partitions_(config.partitions == 0 ? 1 : config.partitions),
+      epoch_(config.epoch),
+      root_rng_(seed),
+      pool_(config.workers == 0 ? 1 : config.workers) {
+  if (node_count_ > 0 && partitions_ > node_count_) {
+    partitions_ = static_cast<std::uint32_t>(node_count_);
+  }
+  HG_ASSERT_MSG(partitions_ == 1 || epoch_ > SimTime::zero(),
+                "multiple partitions require a positive epoch width (the minimum "
+                "cross-partition latency)");
+  partition_sims_.reserve(partitions_);
+  for (std::uint32_t p = 0; p < partitions_; ++p) {
+    // Distinct per-partition seed, mixed so neighbouring p never produce
+    // correlated xoshiro states; partition 0 must not alias the root seed.
+    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * (p + 1));
+    partition_sims_.push_back(std::make_unique<Simulator>(splitmix64(state)));
+  }
+  block_base_ = partitions_ > 0 ? node_count_ / partitions_ : 0;
+  block_rem_ = partitions_ > 0 ? node_count_ % partitions_ : 0;
+}
+
+std::uint32_t ShardedEngine::partition_of(std::uint32_t node_index) const {
+  HG_ASSERT(node_index < node_count_);
+  // The first block_rem_ partitions hold (base + 1) nodes, the rest base.
+  const std::size_t i = node_index;
+  const std::size_t wide = block_rem_ * (block_base_ + 1);
+  if (i < wide) return static_cast<std::uint32_t>(i / (block_base_ + 1));
+  return static_cast<std::uint32_t>(block_rem_ + (i - wide) / block_base_);
+}
+
+void ShardedEngine::schedule_control(SimTime when, std::function<void()> fn) {
+  HG_ASSERT_MSG(when >= now_, "cannot schedule a control task into the past");
+  control_.emplace(when, std::move(fn));
+}
+
+void ShardedEngine::run_controls_due() {
+  while (!control_.empty() && control_.begin()->first <= now_) {
+    auto it = control_.begin();
+    auto fn = std::move(it->second);
+    control_.erase(it);
+    fn();  // may schedule further control tasks, including at now_
+  }
+}
+
+SimTime ShardedEngine::next_barrier(SimTime until) const {
+  SimTime next = until;
+  if (epoch_ > SimTime::zero() && now_ + epoch_ < next) next = now_ + epoch_;
+  if (!control_.empty() && control_.begin()->first < next) next = control_.begin()->first;
+  return next;
+}
+
+std::uint64_t ShardedEngine::run_until(SimTime until) {
+  HG_ASSERT_MSG(until >= now_, "cannot run into the past");
+  const std::uint64_t before = events_executed();
+  run_controls_due();  // tasks armed at exactly now_ (e.g. time zero)
+  while (now_ < until) {
+    const SimTime next = next_barrier(until);
+    // Epoch phase: each partition first releases the messages it handed out
+    // last epoch, then drains its local events strictly before the barrier.
+    // Events *at* the barrier time wait for control tasks carrying the same
+    // timestamp (churn preempts same-time protocol activity, as in the
+    // sequential engine).
+    pool_.run(partitions_, [&](std::size_t p) {
+      if (bridge_ != nullptr) bridge_->begin_epoch(static_cast<std::uint32_t>(p));
+      partition_sims_[p]->run_before(next);
+    });
+    // Exchange phase: import cross-partition messages on their destination's
+    // worker, in deterministic order. Arrivals are >= next by the epoch
+    // invariant (send time >= epoch start, delay >= epoch width).
+    if (bridge_ != nullptr) {
+      pool_.run(partitions_,
+                [&](std::size_t p) { bridge_->exchange(static_cast<std::uint32_t>(p)); });
+    }
+    now_ = next;
+    run_controls_due();
+  }
+  // Inclusive tail: events scheduled exactly at `until` run (the sequential
+  // run_until contract). Cross-partition messages they emit arrive strictly
+  // after `until` and stay queued, as they would in a sequential run.
+  pool_.run(partitions_, [&](std::size_t p) {
+    if (bridge_ != nullptr) bridge_->begin_epoch(static_cast<std::uint32_t>(p));
+    partition_sims_[p]->run_until(until);
+  });
+  return events_executed() - before;
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : partition_sims_) total += s->events_executed();
+  return total;
+}
+
+}  // namespace hg::sim

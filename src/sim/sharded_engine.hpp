@@ -1,0 +1,125 @@
+// Superstep-sharded execution of one simulation (Pregel-style).
+//
+// Nodes are partitioned into P contiguous blocks, each owned by its own
+// Simulator (clock + event queue + RNG root). The run advances in epochs no
+// wider than the minimum cross-partition network latency: every partition
+// drains its local events for the epoch in parallel, cross-partition
+// messages accumulate in outboxes, and a barrier exchanges and deterministically
+// orders them before the next epoch — a message sent during epoch k can only
+// arrive at or after the start of epoch k+1, so no partition ever sees an
+// event from its own future.
+//
+// Determinism is by construction, not by scheduling discipline: P is fixed
+// by configuration (never derived from the worker count), each partition's
+// event order is sequentially deterministic, and the exchange orders imports
+// by (arrival time, seed-derived tiebreak, source partition, send index).
+// Workers only map partitions onto threads, so any worker count >= 1
+// produces bit-identical results.
+//
+// Cross-partition side effects that are *not* datagrams (churn kills, failure
+// detection drains, metric snapshots) run as control tasks: single-threaded
+// callbacks executed between epochs at their exact timestamp, before any
+// partition processes local events carrying the same timestamp — mirroring
+// the sequential discipline where same-time churn preempts protocol timers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace hg::sim {
+
+// Exchange hooks the engine invokes around each epoch. Implemented by the
+// network fabric; the sim layer stays free of net dependencies.
+class PartitionBridge {
+ public:
+  virtual ~PartitionBridge() = default;
+  // Runs on `partition`'s worker at the start of an epoch, before any event:
+  // release resources handed to other partitions last epoch.
+  virtual void begin_epoch(std::uint32_t partition) = 0;
+  // Runs on `partition`'s worker after the barrier: gather every message
+  // destined for this partition, order deterministically, schedule locally.
+  virtual void exchange(std::uint32_t partition) = 0;
+};
+
+class ShardedEngine {
+ public:
+  struct Config {
+    std::uint32_t partitions = 1;  // P: fixed by config, independent of workers
+    std::size_t workers = 1;       // W: threads driving the partitions
+    // Maximum superstep width. Must not exceed the minimum cross-partition
+    // message latency; zero means "no datagram traffic is epoch-bound" (only
+    // valid with partitions == 1, where everything is local).
+    SimTime epoch = SimTime::zero();
+  };
+
+  // `seed` roots the run exactly like a sequential Simulator(seed):
+  // make_rng(tag) returns the same stream either way. `node_count` fixes the
+  // contiguous partition blocks.
+  ShardedEngine(std::uint64_t seed, std::size_t node_count, Config config);
+
+  [[nodiscard]] std::uint32_t partitions() const { return partitions_; }
+  [[nodiscard]] std::size_t workers() const { return pool_.workers(); }
+  [[nodiscard]] SimTime epoch() const { return epoch_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  // Balanced contiguous blocks: partition p owns nodes [lo, hi).
+  [[nodiscard]] std::uint32_t partition_of(std::uint32_t node_index) const;
+  [[nodiscard]] Simulator& sim_of(std::uint32_t partition) {
+    return *partition_sims_[partition];
+  }
+  [[nodiscard]] Simulator& sim_of_node(std::uint32_t node_index) {
+    return sim_of(partition_of(node_index));
+  }
+
+  // Same root streams as a sequential Simulator(seed) — component streams
+  // (population assignment, latency bases, churn) draw identical values in
+  // both engines.
+  [[nodiscard]] Rng make_rng(std::uint64_t stream_tag) const {
+    return root_rng_.fork(stream_tag);
+  }
+
+  void set_bridge(PartitionBridge* bridge) { bridge_ = bridge; }
+
+  // Runs `fn` single-threaded at exactly `when` (>= now), between epochs and
+  // before local events at the same timestamp. Tasks at equal times run in
+  // scheduling order; a task may schedule further control tasks (including at
+  // the current time).
+  void schedule_control(SimTime when, std::function<void()> fn);
+
+  // Advances every partition to `until` in lockstepped epochs; events
+  // scheduled exactly at `until` are processed (matching Simulator::run_until).
+  // Returns the number of events executed by this call.
+  std::uint64_t run_until(SimTime until);
+
+  // Total events executed across all partitions.
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+ private:
+  [[nodiscard]] SimTime next_barrier(SimTime until) const;
+  void run_controls_due();
+
+  std::size_t node_count_;
+  std::uint32_t partitions_;
+  SimTime epoch_;
+  Rng root_rng_;
+  std::vector<std::unique_ptr<Simulator>> partition_sims_;
+  WorkerPool pool_;
+  PartitionBridge* bridge_ = nullptr;
+  SimTime now_ = SimTime::zero();
+  // Ordered; equal keys preserve insertion order (multimap inserts at the
+  // upper bound of the equal range).
+  std::multimap<SimTime, std::function<void()>> control_;
+  std::size_t block_base_ = 0;  // nodes per partition block
+  std::size_t block_rem_ = 0;   // first block_rem_ partitions hold one extra
+};
+
+}  // namespace hg::sim

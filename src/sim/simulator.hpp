@@ -79,6 +79,12 @@ class Simulator {
   // Returns the number of events executed by this call.
   std::uint64_t run_until(SimTime until);
 
+  // Like run_until but *exclusive*: processes events strictly before `until`,
+  // then advances the clock to `until`. The sharded engine steps partitions in
+  // epochs [T, T') with this, so events at an epoch boundary run after the
+  // barrier's control tasks (churn, detection) carrying the same timestamp.
+  std::uint64_t run_before(SimTime until);
+
   // Drain everything (tests; real experiments always bound time).
   std::uint64_t run_to_completion();
 

@@ -62,5 +62,42 @@ TEST(EnvParseDeathTest, EnvWrapperRejectsGarbageToo) {
       "HG_TEST_KNOB2.*not an integer");
 }
 
+TEST(EnvWorkers, UnsetMeansSequential) {
+  unsetenv("HG_WORKERS");
+  EXPECT_EQ(env_workers(), 0u);
+  setenv("HG_WORKERS", "0", 1);
+  EXPECT_EQ(env_workers(), 0u);  // explicit 0 = the classic engine
+  setenv("HG_WORKERS", "16", 1);
+  EXPECT_EQ(env_workers(), 16u);
+  unsetenv("HG_WORKERS");
+}
+
+TEST(EnvParseDeathTest, WorkersRejectsNegative) {
+  ASSERT_DEATH(
+      {
+        setenv("HG_WORKERS", "-2", 1);
+        (void)env_workers();
+      },
+      "HG_WORKERS.*out of range");
+}
+
+TEST(EnvParseDeathTest, WorkersRejectsGarbage) {
+  ASSERT_DEATH(
+      {
+        setenv("HG_WORKERS", "many", 1);
+        (void)env_workers();
+      },
+      "HG_WORKERS.*not an integer");
+}
+
+TEST(EnvParseDeathTest, WorkersRejectsOverRange) {
+  ASSERT_DEATH(
+      {
+        setenv("HG_WORKERS", "5000", 1);
+        (void)env_workers();
+      },
+      "HG_WORKERS.*out of range");
+}
+
 }  // namespace
 }  // namespace hg

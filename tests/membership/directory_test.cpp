@@ -228,6 +228,68 @@ TEST(Directory, ViewBuiltAfterDeathsMaterializesEagerly) {
   }
 }
 
+TEST(Directory, DetectionWheelSchedulesOneEventPerBucket) {
+  // A death with N views must cost O(spread / wheel_tick) scheduled events,
+  // not O(N): detections land in shared tick buckets. With spread 0 every
+  // observer fires from the same bucket — exactly one event in the queue.
+  sim::Simulator s(3);
+  DetectionConfig det;
+  det.mean = sim::SimTime::sec(10.0);
+  det.spread = 0.0;
+  Directory dir(s, det);
+  constexpr std::uint32_t kNodes = 200;
+  for (std::uint32_t i = 0; i < kNodes; ++i) dir.add_node(NodeId{i});
+  std::vector<std::unique_ptr<LocalView>> views;
+  for (std::uint32_t i = 0; i < kNodes; ++i) views.push_back(dir.make_view(NodeId{i}));
+
+  const std::uint64_t before = s.events_executed();
+  dir.kill(NodeId{7});
+  s.run_until(sim::SimTime::sec(30));
+  // One drain event total (plus nothing else pending in this run).
+  EXPECT_EQ(s.events_executed() - before, 1u);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    if (i == 7) continue;
+    EXPECT_EQ(views[i]->believed_peers(), kNodes - 2) << i;
+  }
+}
+
+TEST(Directory, WheelTickRoundsDetectionUpAtMostOneTick) {
+  // Quantization contract: a detection fires at the first wheel tick at or
+  // after its sampled delay — never before, never more than a tick late.
+  sim::Simulator s(5);
+  DetectionConfig det;
+  det.mean = sim::SimTime::sec(10.0);
+  det.spread = 0.0;
+  det.wheel_tick = sim::SimTime::ms(250);
+  Directory dir(s, det);
+  for (std::uint32_t i = 0; i < 3; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+  dir.kill(NodeId{1});
+  // Exactly 10 s is already a tick multiple: must not fire before 10 s.
+  s.run_until(sim::SimTime::sec(10.0) - sim::SimTime::us(1));
+  EXPECT_EQ(view->believed_peers(), 2u);
+  s.run_until(sim::SimTime::sec(10.0));
+  EXPECT_EQ(view->believed_peers(), 1u);
+}
+
+TEST(Directory, WheelBucketsAreReusableAfterDrain) {
+  // A second death whose detection maps to an already-drained bucket index
+  // range must re-create buckets, not vanish.
+  sim::Simulator s(6);
+  DetectionConfig det;
+  det.mean = sim::SimTime::sec(1.0);
+  det.spread = 0.0;
+  Directory dir(s, det);
+  for (std::uint32_t i = 0; i < 4; ++i) dir.add_node(NodeId{i});
+  auto view = dir.make_view(NodeId{0});
+  dir.kill(NodeId{1});
+  s.run_until(sim::SimTime::sec(5));
+  EXPECT_EQ(view->believed_peers(), 2u);
+  dir.kill(NodeId{2});
+  s.run_until(sim::SimTime::sec(10));
+  EXPECT_EQ(view->believed_peers(), 1u);
+}
+
 TEST(Directory, ViewOfKilledOwnerUnaffected) {
   // A dead node's own view is not updated (it is dead), but destroying the
   // view must not crash pending detection events.

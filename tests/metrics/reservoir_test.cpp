@@ -177,6 +177,106 @@ TEST(StreamingSamplesDeathTest, ValuesUnavailableInStreamingMode) {
   ASSERT_DEATH((void)s.values(), "streaming Samples do not retain raw values");
 }
 
+TEST(QuantileReservoir, MergeCombinesMomentsExactly) {
+  Rng rng(7);
+  QuantileReservoir all(256);
+  QuantileReservoir a(256);
+  QuantileReservoir b(256);
+  QuantileReservoir ref(256);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    all.add(v);
+    (i % 3 == 0 ? a : b).add(v);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  // Rank queries stay within the sketch's error bound after merging.
+  for (double q : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_NEAR(a.percentile(q), all.percentile(q), 1.0) << q;
+  }
+}
+
+TEST(QuantileReservoir, MergeIsDeterministic) {
+  // Per-partition reservoirs merged in partition order must give one result,
+  // bit for bit, regardless of how often the merge is repeated.
+  auto build = [] {
+    std::vector<QuantileReservoir> parts;
+    Rng rng(99);
+    for (int p = 0; p < 4; ++p) {
+      parts.emplace_back(64);
+      for (int i = 0; i < 1000; ++i) parts[static_cast<std::size_t>(p)].add(rng.uniform01());
+    }
+    QuantileReservoir merged(64);
+    for (const auto& part : parts) merged.merge_from(part);
+    return merged;
+  };
+  const QuantileReservoir x = build();
+  const QuantileReservoir y = build();
+  EXPECT_EQ(x.count(), y.count());
+  EXPECT_EQ(x.retained(), y.retained());
+  for (double q = 0.0; q <= 100.0; q += 2.5) {
+    EXPECT_EQ(x.percentile(q), y.percentile(q)) << q;
+  }
+}
+
+TEST(QuantileReservoir, MergeWithEmptySidesIsIdentity) {
+  QuantileReservoir a(64);
+  QuantileReservoir empty(64);
+  for (int i = 0; i < 100; ++i) a.add(i);
+  const double p50 = a.percentile(50);
+  a.merge_from(empty);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.percentile(50), p50);
+  QuantileReservoir into(64);
+  into.merge_from(a);
+  EXPECT_EQ(into.count(), 100u);
+  EXPECT_EQ(into.min(), 0.0);
+  EXPECT_EQ(into.max(), 99.0);
+  EXPECT_EQ(into.percentile(50), p50);
+}
+
+TEST(QuantileReservoirDeathTest, MergeRequiresSameCapacity) {
+  QuantileReservoir a(64);
+  QuantileReservoir b(128);
+  b.add(1.0);
+  ASSERT_DEATH(a.merge_from(b), "same buffer_elems");
+}
+
+TEST(StreamingSamples, MergeRoutesThroughSketch) {
+  Samples a = Samples::streaming(256);
+  Samples b = Samples::streaming(256);
+  for (int i = 0; i < 500; ++i) a.add(i);
+  for (int i = 500; i < 1000; ++i) b.add(i);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 999.0);
+  EXPECT_NEAR(a.percentile(50), 500.0, 25.0);
+}
+
+TEST(ExactSamples, MergeAppendsValues) {
+  Samples a;
+  Samples b;
+  for (double v : {3.0, 1.0}) a.add(v);
+  for (double v : {2.0, 4.0}) b.add(v);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.percentile(50.0), 2.5);
+  EXPECT_EQ(a.values().size(), 4u);
+}
+
+TEST(SamplesDeathTest, MergeAcrossModesIsFatal) {
+  Samples exact;
+  exact.add(1.0);
+  Samples streaming = Samples::streaming();
+  streaming.add(2.0);
+  ASSERT_DEATH(exact.merge_from(streaming), "cannot merge exact");
+}
+
 TEST(ExactSamples, DefaultModeIsUnchanged) {
   // The exact path must behave as before: values() available, interpolated
   // percentiles, byte-stable results feeding the figure benches.

@@ -1,0 +1,93 @@
+// Worker-count invariance of the superstep-sharded engine, end to end: the
+// same seed and partition count must produce byte-identical metrics no
+// matter how many threads drive the run. This is the contract that lets
+// HG_WORKERS vary freely across machines without bending any paper curve.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "scenario/report.hpp"
+
+namespace hg::scenario {
+namespace {
+
+ExperimentConfig parallel_cfg(std::size_t workers) {
+  ExperimentConfig cfg;
+  cfg.node_count = 96;
+  cfg.stream_windows = 4;
+  cfg.tail = sim::SimTime::sec(20.0);
+  cfg.mode = core::Mode::kHeap;
+  cfg.distribution = BandwidthDistribution::ref691();
+  cfg.seed = 77;
+  cfg.workers = workers;
+  // Explicit: auto-partitioning keeps runs this small on one block, which
+  // would not exercise the cross-partition exchange at all.
+  cfg.partitions = 4;
+  return cfg;
+}
+
+// Full-precision textual digest of everything the figures are built from:
+// per-class curve points, wire totals, per-node upload bytes, event count.
+// Compared with string equality — "close" is a bug here.
+std::string digest(Experiment& e) {
+  std::string out;
+  char buf[128];
+  for (const ClassStat& stat : jitter_free_pct_by_class(e, /*lag_sec=*/2.0)) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", stat.class_name.c_str(), stat.value);
+    out += buf;
+  }
+  std::int64_t uploaded = 0;
+  for (std::size_t i = 0; i < e.receivers(); ++i) {
+    uploaded += e.meter(i).total_sent_bytes();
+  }
+  std::snprintf(buf, sizeof buf, "delivered=%llu lost=%llu uploaded=%lld events=%llu\n",
+                static_cast<unsigned long long>(e.fabric().datagrams_delivered()),
+                static_cast<unsigned long long>(e.fabric().datagrams_lost()),
+                static_cast<long long>(uploaded),
+                static_cast<unsigned long long>(e.events_executed()));
+  out += buf;
+  return out;
+}
+
+std::string run_digest(std::size_t workers) {
+  Experiment e(parallel_cfg(workers));
+  e.run();
+  return digest(e);
+}
+
+TEST(ParallelDeterminism, MetricsAreByteIdenticalAcrossWorkerCounts) {
+  const std::string base = run_digest(1);
+  EXPECT_NE(base.find("delivered="), std::string::npos);
+  for (std::size_t workers : {2u, 8u, 16u}) {
+    EXPECT_EQ(run_digest(workers), base) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(run_digest(2), run_digest(2));
+}
+
+TEST(ParallelDeterminism, ChurnAndDetectionStayDeterministic) {
+  auto with_churn = [](std::size_t workers) {
+    ExperimentConfig cfg = parallel_cfg(workers);
+    cfg.churn.push_back(ChurnEvent{sim::SimTime::sec(6.0), 0.3});
+    Experiment e(cfg);
+    e.run();
+    std::string out = digest(e);
+    std::size_t crashed = 0;
+    for (std::size_t i = 0; i < e.receivers(); ++i) {
+      if (e.info(i).crashed) ++crashed;
+    }
+    out += "crashed=" + std::to_string(crashed);
+    return out;
+  };
+  const std::string base = with_churn(1);
+  EXPECT_NE(base.find("crashed=28"), std::string::npos);  // 0.3 * 96 receivers
+  for (std::size_t workers : {3u, 8u}) {
+    EXPECT_EQ(with_churn(workers), base) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace hg::scenario

@@ -1,0 +1,100 @@
+// Parallel golden regression at scale: a 2k-node mixed-population run on the
+// superstep-sharded engine must (a) produce byte-identical metrics for every
+// worker count and (b) match the checked-in golden digest, pinning the
+// sharded engine's output across refactors the same way the sequential
+// fig05 golden pins the classic loop.
+//
+// Regenerate after an *intended* behaviour change with:
+//   HG_UPDATE_GOLDEN=1 ./hg_scale_tests --gtest_filter='ParallelGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/report.hpp"
+
+#ifndef HG_GOLDEN_DIR
+#error "HG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace hg::scenario {
+namespace {
+
+std::string golden_path() {
+  return std::string(HG_GOLDEN_DIR) + "/parallel_mixed_2k_digest.txt";
+}
+
+ExperimentConfig mixed_2k(std::size_t workers) {
+  ExperimentConfig cfg;
+  cfg.node_count = 2000;
+  cfg.stream_windows = 6;
+  cfg.tail = sim::SimTime::sec(25.0);
+  cfg.mode = core::Mode::kHeap;
+  cfg.distribution = BandwidthDistribution::ref691();
+  cfg.seed = 424242;
+  cfg.workers = workers;
+  cfg.partitions = 8;
+  cfg.churn.push_back(ChurnEvent{sim::SimTime::sec(8.0), 0.1});
+  // Mixed population: every third receiver runs the non-adaptive standard
+  // stack amid HEAP peers — exercises tag-routed dispatch across partitions.
+  cfg.node_factory = [](sim::Simulator& s, net::NetworkFabric& f, membership::Directory& dir,
+                        NodeId id, const core::NodeConfig& base) {
+    core::NodeConfig node_cfg = base;
+    if (id.value() != 0 && id.value() % 3 == 0) node_cfg.mode = core::Mode::kStandard;
+    return core::NodeRuntime::make(s, f, dir, id, node_cfg);
+  };
+  return cfg;
+}
+
+std::string run_digest(std::size_t workers) {
+  Experiment e(mixed_2k(workers));
+  e.run();
+  std::string out;
+  char buf[128];
+  for (const ClassStat& stat : jitter_free_pct_by_class(e, /*lag_sec=*/2.0)) {
+    std::snprintf(buf, sizeof buf, "%s=%.17g\n", stat.class_name.c_str(), stat.value);
+    out += buf;
+  }
+  std::int64_t uploaded = 0;
+  std::size_t crashed = 0;
+  for (std::size_t i = 0; i < e.receivers(); ++i) {
+    uploaded += e.meter(i).total_sent_bytes();
+    if (e.info(i).crashed) ++crashed;
+  }
+  std::snprintf(buf, sizeof buf, "delivered=%llu lost=%llu uploaded=%lld crashed=%zu\n",
+                static_cast<unsigned long long>(e.fabric().datagrams_delivered()),
+                static_cast<unsigned long long>(e.fabric().datagrams_lost()),
+                static_cast<long long>(uploaded), crashed);
+  out += buf;
+  return out;
+}
+
+TEST(ParallelGolden, Mixed2kByteIdenticalAcrossWorkersAndMatchesGolden) {
+  const std::string base = run_digest(1);
+
+  if (std::getenv("HG_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.good()) << golden_path();
+    out << base;
+    out.close();
+    // Still verify worker invariance before declaring the digest golden.
+  } else {
+    std::ifstream in(golden_path());
+    ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                           << " (run with HG_UPDATE_GOLDEN=1 to create it)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), base)
+        << "sharded-engine output drifted from the checked-in digest — if intended, "
+           "regenerate with HG_UPDATE_GOLDEN=1 and justify in the commit";
+  }
+
+  for (std::size_t workers : {2u, 3u, 8u}) {
+    EXPECT_EQ(run_digest(workers), base) << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace hg::scenario

@@ -1,0 +1,139 @@
+#include "sim/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace hg::sim {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    WorkerPool pool(workers);
+    std::vector<int> hits(23, 0);
+    // Static assignment: index i only ever runs on worker i % workers, so
+    // concurrent increments never touch the same slot.
+    pool.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+    pool.run(hits.size(), [&](std::size_t i) { hits[i]++; });
+    for (int h : hits) EXPECT_EQ(h, 2);
+  }
+}
+
+TEST(Simulator, RunBeforeIsExclusive) {
+  Simulator s(1);
+  int ran = 0;
+  s.at(SimTime::ms(10), [&] { ran = 1; });
+  EXPECT_EQ(s.run_before(SimTime::ms(10)), 0u);
+  EXPECT_EQ(ran, 0);
+  // The clock still advances to the bound, like run_until.
+  EXPECT_EQ(s.now(), SimTime::ms(10));
+  EXPECT_EQ(s.run_until(SimTime::ms(10)), 1u);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ShardedEngine, PartitionMapIsContiguousAndBalanced) {
+  ShardedEngine e(7, /*node_count=*/103, {/*partitions=*/4, /*workers=*/1, SimTime::ms(1)});
+  std::vector<std::size_t> sizes(4, 0);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < 103; ++i) {
+    const std::uint32_t p = e.partition_of(i);
+    ASSERT_LT(p, 4u);
+    ASSERT_GE(p, prev);  // contiguous blocks
+    prev = p;
+    sizes[p]++;
+  }
+  for (std::size_t n : sizes) EXPECT_TRUE(n == 25 || n == 26);
+}
+
+TEST(ShardedEngine, PartitionsClampToNodeCount) {
+  ShardedEngine e(7, /*node_count=*/3, {/*partitions=*/16, /*workers=*/2, SimTime::ms(1)});
+  EXPECT_EQ(e.partitions(), 3u);
+}
+
+TEST(ShardedEngine, MakeRngMatchesSequentialSimulator) {
+  ShardedEngine e(2009, 10, {2, 1, SimTime::ms(1)});
+  Simulator s(2009);
+  for (std::uint64_t tag : {7ull, 0x41535347ull, 0x4348524eull}) {
+    Rng a = e.make_rng(tag);
+    Rng b = s.make_rng(tag);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(ShardedEngine, ControlTasksRunBeforeLocalEventsAtSameTime) {
+  ShardedEngine e(1, 8, {2, 1, SimTime::ms(1)});
+  std::vector<std::string> order;
+  e.sim_of(0).at(SimTime::ms(5), [&] { order.push_back("event"); });
+  e.schedule_control(SimTime::ms(5), [&] { order.push_back("control"); });
+  e.run_until(SimTime::ms(6));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "control");
+  EXPECT_EQ(order[1], "event");
+}
+
+TEST(ShardedEngine, ControlTasksAtEqualTimesKeepSchedulingOrder) {
+  ShardedEngine e(1, 4, {2, 1, SimTime::ms(1)});
+  std::vector<int> order;
+  e.schedule_control(SimTime::ms(3), [&] { order.push_back(1); });
+  e.schedule_control(SimTime::ms(3), [&] {
+    order.push_back(2);
+    // A control task may chain another at the same timestamp.
+    e.schedule_control(SimTime::ms(3), [&] { order.push_back(3); });
+  });
+  e.run_until(SimTime::ms(4));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedEngine, CountsEventsAcrossPartitions) {
+  ShardedEngine e(1, 6, {3, 1, SimTime::ms(1)});
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    e.sim_of(p).at(SimTime::ms(1 + p), [] {});
+  }
+  const std::uint64_t ran = e.run_until(SimTime::ms(10));
+  EXPECT_EQ(ran, 3u);
+  EXPECT_EQ(e.events_executed(), 3u);
+}
+
+// The acceptance-critical property: cross-partition messages with *colliding
+// arrival timestamps* are imported in an order that depends only on the seed
+// and partition count — never on how many workers drive the run.
+std::vector<std::uint32_t> arrival_order(std::size_t workers) {
+  constexpr std::size_t kNodes = 12;
+  ShardedEngine engine(99, kNodes, {/*partitions=*/4, workers, SimTime::ms(10)});
+  net::NetworkFabric fabric(engine, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(10)),
+                            std::make_unique<net::NoLoss>());
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    fabric.register_node(NodeId{i}, BitRate::unlimited(),
+                         [&order, i](const net::Datagram&) { order.push_back(i); });
+  }
+  // Every node sends to node 0 at t=0 with constant latency: all arrivals
+  // collide at exactly t=10ms, from three different source partitions.
+  for (std::uint32_t i = 3; i < kNodes; ++i) {
+    fabric.send(NodeId{i}, NodeId{0}, net::MsgClass::kPropose,
+                net::BufferRef::copy_of(std::vector<std::uint8_t>(8, 0x42)));
+  }
+  engine.run_until(SimTime::ms(20));
+  return order;
+}
+
+TEST(ShardedEngine, CrossPartitionCollidingArrivalsOrderIndependentOfWorkers) {
+  const auto base = arrival_order(1);
+  EXPECT_EQ(base.size(), 9u);
+  for (std::size_t workers : {2u, 3u, 8u}) {
+    EXPECT_EQ(arrival_order(workers), base) << "workers=" << workers;
+  }
+}
+
+TEST(ShardedEngineDeathTest, MultiPartitionRequiresPositiveEpoch) {
+  EXPECT_DEATH(ShardedEngine(1, 8, {2, 1, SimTime::zero()}), "epoch");
+}
+
+}  // namespace
+}  // namespace hg::sim
