@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "gossip/gossip_module.hpp"
 #include "scenario/report.hpp"
 #include "scenario/scale_preset.hpp"
 #include "scenario/sweep_runner.hpp"
@@ -42,6 +43,7 @@ struct ClassPercentiles {
 
 struct RunStats {
   std::uint64_t events = 0;
+  double gossip_state_bytes_per_node = 0;  // end-of-run mean per receiver
   std::vector<ClassPercentiles> classes;
 };
 
@@ -64,6 +66,7 @@ RunStats analyze(const scenario::Experiment& e) {
     lag.push_back(metrics::Samples::streaming());
     jitter.push_back(metrics::Samples::streaming());
   }
+  std::size_t state_bytes = 0;
   for (std::size_t i = 0; i < e.receivers(); ++i) {
     if (e.info(i).crashed) continue;
     const auto c = static_cast<std::size_t>(e.info(i).class_index);
@@ -71,9 +74,15 @@ RunStats analyze(const scenario::Experiment& e) {
     const auto to_jitter_free = e.analyzer().lag_to_jitter_at_most(e.player(i), 0.0);
     lag[c].add(std::min(to_jitter_free.value_or(kLagCapSec), kLagCapSec));
     jitter[c].add(100.0 * e.analyzer().jitter_fraction(e.player(i), kJitterLagSec));
+    if (const auto* gm = e.node(i).find_module<gossip::GossipModule>()) {
+      state_bytes += gm->engine().state_bytes();
+    }
   }
   RunStats stats;
   stats.events = 0;  // filled by the caller (simulator is gone after map())
+  stats.gossip_state_bytes_per_node =
+      e.receivers() > 0 ? static_cast<double>(state_bytes) / static_cast<double>(e.receivers())
+                        : 0.0;
   for (std::size_t c = 0; c < classes.size(); ++c) {
     ClassPercentiles p;
     p.name = classes[c].name;
@@ -99,7 +108,8 @@ struct LadderRow {
   double speedup_vs_1w = 0;    // wall(1 worker) / wall; 0 when not measured
   std::uint64_t events = 0;
   double rss_mb = 0;
-  std::vector<ClassPercentiles> classes;  // seed-averaged
+  double gossip_state_bytes_per_node = 0;  // seed-averaged, end-of-run
+  std::vector<ClassPercentiles> classes;   // seed-averaged
 };
 
 // Runs one rung's seed sweep at the given intra-run worker count; returns
@@ -169,7 +179,11 @@ LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads,
     c.jitter_p90 /= ns;
     c.jitter_p99 /= ns;
   }
-  for (const RunStats& s : per_seed) row.events += s.events;
+  for (const RunStats& s : per_seed) {
+    row.events += s.events;
+    row.gossip_state_bytes_per_node += s.gossip_state_bytes_per_node;
+  }
+  row.gossip_state_bytes_per_node /= static_cast<double>(per_seed.size());
   row.rss_mb = peak_rss_mb();
   return row;
 }
@@ -177,9 +191,12 @@ LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads,
 void print_row(const LadderRow& row) {
   std::printf("--- %zu nodes (%zu seed%s, %zu worker%s) ---\n", row.nodes, row.seeds,
               row.seeds == 1 ? "" : "s", row.workers, row.workers == 1 ? "" : "s");
-  std::printf("wall %.1f s | %.0f events/s | %.0f node-runs/s | peak RSS %.0f MB",
-              row.wall_sec, static_cast<double>(row.events) / row.wall_sec,
-              static_cast<double>(row.nodes * row.seeds) / row.wall_sec, row.rss_mb);
+  std::printf(
+      "wall %.1f s | %.0f events/s | %.0f node-runs/s | peak RSS %.0f MB | gossip state "
+      "%.0f B/node",
+      row.wall_sec, static_cast<double>(row.events) / row.wall_sec,
+      static_cast<double>(row.nodes * row.seeds) / row.wall_sec, row.rss_mb,
+      row.gossip_state_bytes_per_node);
   if (row.speedup_vs_1w > 0) {
     std::printf(" | %.2fx vs 1 worker", row.speedup_vs_1w);
   }
@@ -206,11 +223,13 @@ void write_json(const std::vector<LadderRow>& rows) {
                  "    {\"nodes\": %zu, \"seeds\": %zu, \"workers\": %zu, \"wall_sec\": %.3f, "
                  "\"speedup_vs_1w\": %.3f, "
                  "\"events\": %llu, \"events_per_sec\": %.1f, \"nodes_per_sec\": %.1f, "
-                 "\"peak_rss_mb\": %.1f, \"classes\": [",
+                 "\"peak_rss_mb\": %.1f, \"gossip_state_bytes_per_node\": %.1f, "
+                 "\"classes\": [",
                  r.nodes, r.seeds, r.workers, r.wall_sec, r.speedup_vs_1w,
                  static_cast<unsigned long long>(r.events),
                  static_cast<double>(r.events) / r.wall_sec,
-                 static_cast<double>(r.nodes * r.seeds) / r.wall_sec, r.rss_mb);
+                 static_cast<double>(r.nodes * r.seeds) / r.wall_sec, r.rss_mb,
+                 r.gossip_state_bytes_per_node);
     for (std::size_t c = 0; c < r.classes.size(); ++c) {
       const ClassPercentiles& p = r.classes[c];
       std::fprintf(f,

@@ -6,11 +6,13 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "aggregation/freshness_aggregator.hpp"
 #include "common/rng.hpp"
 #include "fec/window_codec.hpp"
 #include "gossip/messages.hpp"
+#include "gossip/window_ring.hpp"
 #include "net/fabric.hpp"
 #include "sim/sharded_engine.hpp"
 #include "sim/simulator.hpp"
@@ -527,6 +529,104 @@ void BM_ParallelSuperstepBufferExchange(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kNodes);
 }
 BENCHMARK(BM_ParallelSuperstepBufferExchange)->Arg(1)->Arg(2)->Arg(4);
+
+// --------------------------------------------------------------------------
+// WindowRing vs the unordered_map it replaced in the gossip engine.
+//
+// Workload shape matches steady-state dissemination: a sliding domain of
+// `horizon` windows x 110 packets, fully populated, probed with a mix of
+// hits and (gc'd / not-yet-seen) misses, and advanced one window at a time.
+// --------------------------------------------------------------------------
+
+constexpr std::uint32_t kRingSlots = 110;
+constexpr std::uint32_t kRingHorizon = 41;  // gc_window_horizon 40 -> 41 live windows
+
+template <typename Fill>
+void ring_lookup_ids(std::vector<gossip::EventId>& ids, Fill&& fill) {
+  // 3/4 hits spread over the domain, 1/4 misses (half stale, half future).
+  Rng rng(7);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    const auto roll = rng.below(4);
+    const std::uint32_t window =
+        roll == 0 ? (i % 2 ? kRingHorizon + 1 + static_cast<std::uint32_t>(rng.below(8))
+                           : 0)
+                  : 1 + static_cast<std::uint32_t>(rng.below(kRingHorizon - 1));
+    ids.emplace_back(window, static_cast<std::uint16_t>(rng.below(kRingSlots)));
+    fill(ids.back());
+  }
+}
+
+void BM_WindowRingLookup(benchmark::State& state) {
+  gossip::WindowRing<std::uint64_t> ring({kRingHorizon, kRingSlots});
+  ring.advance(1);  // window 0 is gc'd: stale probes miss below base
+  for (std::uint32_t w = 1; w < kRingHorizon; ++w) {
+    for (std::uint16_t i = 0; i < kRingSlots; ++i) {
+      *ring.insert(gossip::EventId{w, i}).first = w + i;
+    }
+  }
+  std::vector<gossip::EventId> ids;
+  ring_lookup_ids(ids, [](gossip::EventId) {});
+  for (auto _ : state) {
+    for (const gossip::EventId id : ids) {
+      benchmark::DoNotOptimize(ring.find(id));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ids.size()));
+}
+BENCHMARK(BM_WindowRingLookup);
+
+void BM_HashMapLookup(benchmark::State& state) {
+  std::unordered_map<gossip::EventId, std::uint64_t> map;
+  for (std::uint32_t w = 1; w < kRingHorizon; ++w) {
+    for (std::uint16_t i = 0; i < kRingSlots; ++i) {
+      map.emplace(gossip::EventId{w, i}, w + i);
+    }
+  }
+  std::vector<gossip::EventId> ids;
+  ring_lookup_ids(ids, [](gossip::EventId) {});
+  for (auto _ : state) {
+    for (const gossip::EventId id : ids) {
+      benchmark::DoNotOptimize(map.find(id));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ids.size()));
+}
+BENCHMARK(BM_HashMapLookup);
+
+void BM_WindowRingInsertGc(benchmark::State& state) {
+  // One iteration = one stream window: insert its 110 ids, then advance the
+  // gc cutoff by one window (what ThreePhaseGossip::gc does per window).
+  gossip::WindowRing<std::uint64_t> ring({kRingHorizon, kRingSlots});
+  std::uint32_t window = 0;
+  for (auto _ : state) {
+    for (std::uint16_t i = 0; i < kRingSlots; ++i) {
+      *ring.insert(gossip::EventId{window, i}).first = i;
+    }
+    ++window;
+    if (window >= kRingHorizon) ring.advance(window - kRingHorizon + 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kRingSlots);
+}
+BENCHMARK(BM_WindowRingInsertGc);
+
+void BM_HashMapInsertGc(benchmark::State& state) {
+  std::unordered_map<gossip::EventId, std::uint64_t> map;
+  std::uint32_t window = 0;
+  for (auto _ : state) {
+    for (std::uint16_t i = 0; i < kRingSlots; ++i) {
+      map.emplace(gossip::EventId{window, i}, i);
+    }
+    ++window;
+    if (window >= kRingHorizon) {
+      const std::uint32_t cutoff = window - kRingHorizon + 1;
+      std::erase_if(map, [&](const auto& kv) { return kv.first.window() < cutoff; });
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kRingSlots);
+}
+BENCHMARK(BM_HashMapInsertGc);
 
 }  // namespace
 

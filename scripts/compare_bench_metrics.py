@@ -5,12 +5,17 @@ Used by CI to assert that intra-run parallelism (HG_WORKERS) changes wall
 clock but not results: a sharded run at W workers must produce bit-identical
 simulation outputs (event counts, per-class percentiles) to the same run at
 1 worker. Timing-derived fields (wall_sec, events_per_sec, nodes_per_sec,
-peak_rss_mb, speedup_vs_1w) and the worker count itself legitimately differ
-and are stripped before comparison.
+peak_rss_mb, speedup_vs_1w, and their total_* aggregates) and the worker
+count itself legitimately differ and are stripped before comparison.
 
-Usage: compare_bench_metrics.py A.json B.json
-Exit 0 when the metric payloads match exactly; exit 1 with a unified diff
-of the normalized payloads otherwise.
+Memory is gated separately: with --rss-tolerance FRAC, the peak_rss_mb
+values of the two files are also compared pairwise and may deviate by at
+most FRAC (relative to the first file), so a memory regression fails CI
+even though exact RSS equality across runs is never expected.
+
+Usage: compare_bench_metrics.py [--rss-tolerance FRAC] A.json B.json
+Exit 0 when the metric payloads match exactly (and, if requested, RSS is
+within tolerance); exit 1 with a diagnostic otherwise.
 """
 
 import difflib
@@ -19,7 +24,18 @@ import sys
 
 # Fields that measure the machine, not the simulation.
 TIMING_KEYS = frozenset(
-    ["wall_sec", "events_per_sec", "nodes_per_sec", "peak_rss_mb", "speedup_vs_1w", "workers"]
+    [
+        "wall_sec",
+        "events_per_sec",
+        "nodes_per_sec",
+        "peak_rss_mb",
+        "speedup_vs_1w",
+        "workers",
+        "total_wall_sec",
+        "total_events_per_sec",
+        "total_nodes_per_sec",
+        "total_peak_rss_mb",
+    ]
 )
 
 
@@ -31,23 +47,88 @@ def strip_timing(obj):
     return obj
 
 
-def normalize(path):
+def collect_rss(obj, out):
+    """Appends every peak_rss_mb value in document order."""
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            if k == "peak_rss_mb":
+                out.append(float(v))
+            else:
+                collect_rss(v, out)
+    elif isinstance(obj, list):
+        for v in obj:
+            collect_rss(v, out)
+
+
+def load(path):
     with open(path, encoding="utf-8") as f:
-        payload = strip_timing(json.load(f))
-    return json.dumps(payload, indent=2, sort_keys=True).splitlines(keepends=True)
+        return json.load(f)
+
+
+def normalize(payload):
+    return json.dumps(strip_timing(payload), indent=2, sort_keys=True).splitlines(
+        keepends=True
+    )
+
+
+def compare_rss(a_doc, b_doc, a_path, b_path, tolerance):
+    a_rss, b_rss = [], []
+    collect_rss(a_doc, a_rss)
+    collect_rss(b_doc, b_rss)
+    if len(a_rss) != len(b_rss):
+        print(
+            f"RSS DIFFER: {a_path} has {len(a_rss)} peak_rss_mb entries, "
+            f"{b_path} has {len(b_rss)}",
+            file=sys.stderr,
+        )
+        return False
+    ok = True
+    for i, (a, b) in enumerate(zip(a_rss, b_rss)):
+        limit = abs(a) * tolerance
+        if abs(b - a) > limit:
+            print(
+                f"RSS DIFFER: entry {i}: {a:.1f} MB -> {b:.1f} MB "
+                f"(|delta| {abs(b - a):.1f} > {limit:.1f} at tolerance {tolerance})",
+                file=sys.stderr,
+            )
+            ok = False
+    if ok and a_rss:
+        print(
+            f"rss within tolerance {tolerance}: "
+            + ", ".join(f"{a:.1f}->{b:.1f}MB" for a, b in zip(a_rss, b_rss))
+        )
+    return ok
 
 
 def main(argv):
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} A.json B.json", file=sys.stderr)
+    args = list(argv[1:])
+    tolerance = None
+    if "--rss-tolerance" in args:
+        i = args.index("--rss-tolerance")
+        try:
+            tolerance = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("--rss-tolerance needs a numeric argument", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+    if len(args) != 2:
+        print(f"usage: {argv[0]} [--rss-tolerance FRAC] A.json B.json", file=sys.stderr)
         return 2
-    a, b = normalize(argv[1]), normalize(argv[2])
+    a_doc, b_doc = load(args[0]), load(args[1])
+    a, b = normalize(a_doc), normalize(b_doc)
+    rc = 0
     if a == b:
-        print(f"metrics match: {argv[1]} == {argv[2]} (timing fields ignored)")
-        return 0
-    sys.stdout.writelines(difflib.unified_diff(a, b, fromfile=argv[1], tofile=argv[2]))
-    print("\nMETRICS DIFFER: parallel execution changed simulation results", file=sys.stderr)
-    return 1
+        print(f"metrics match: {args[0]} == {args[1]} (timing fields ignored)")
+    else:
+        sys.stdout.writelines(difflib.unified_diff(a, b, fromfile=args[0], tofile=args[1]))
+        print(
+            "\nMETRICS DIFFER: parallel execution changed simulation results",
+            file=sys.stderr,
+        )
+        rc = 1
+    if tolerance is not None and not compare_rss(a_doc, b_doc, args[0], args[1], tolerance):
+        rc = 1
+    return rc
 
 
 if __name__ == "__main__":

@@ -28,11 +28,61 @@ class NodeId {
 
 inline constexpr NodeId kInvalidNode{};
 
+// Identifies an event (one stream packet): (window, index-in-window) packed
+// into 64 bits. Index 0..data-1 are data packets, data..total-1 parity.
+//
+// This decomposition is the canonical dense-indexing scheme of the system:
+// the stream is windowed by construction (a fixed packet count per window,
+// strictly advancing window ids, state garbage-collected below a moving
+// cutoff), so every per-event container — the gossip engine's window rings,
+// the retransmit tracker, the player's seen-bitmaps — addresses state as
+// (window, index) instead of hashing opaque 64-bit ids.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr EventId(std::uint32_t window, std::uint16_t index)
+      : v_((static_cast<std::uint64_t>(window) << 16) | index) {}
+
+  [[nodiscard]] static constexpr EventId from_raw(std::uint64_t raw) {
+    EventId id;
+    id.v_ = raw;
+    return id;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t raw() const { return v_; }
+  [[nodiscard]] constexpr std::uint32_t window() const {
+    return static_cast<std::uint32_t>(v_ >> 16);
+  }
+  [[nodiscard]] constexpr std::uint16_t index() const {
+    return static_cast<std::uint16_t>(v_ & 0xffff);
+  }
+
+  // Validity against a deployment's window geometry: a well-formed id of a
+  // stream coded at `packets_per_window` packets never carries an index at
+  // or beyond it. Ids that fail this came off the wire malformed (or from a
+  // misconfigured publisher) and must not be allowed to materialize state.
+  [[nodiscard]] constexpr bool index_valid(std::uint32_t packets_per_window) const {
+    return index() < packets_per_window;
+  }
+
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
 }  // namespace hg
 
 template <>
 struct std::hash<hg::NodeId> {
   std::size_t operator()(hg::NodeId id) const noexcept {
     return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<hg::EventId> {
+  std::size_t operator()(hg::EventId id) const noexcept {
+    return static_cast<std::size_t>(id.raw() * 0x9e3779b97f4a7c15ULL);  // Fibonacci hash
   }
 };

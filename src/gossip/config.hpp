@@ -36,6 +36,28 @@ struct GossipConfig {
   // fallbacks.
   std::size_t max_proposers_tracked = 8;
 
+  // Stream coding geometry: ids with a packet index at or beyond this are
+  // malformed and never materialize state. Drives the slot count of every
+  // WindowRing slab; the scenario layer copies StreamConfig::window_packets()
+  // here so gossip and stream agree on one indexing scheme.
+  std::uint32_t packets_per_window = 110;
+
+  // WindowRing capacities (in windows) derived from the GC horizon.
+  //
+  // Delivered events live in [gc cutoff, newest window seen] — exactly
+  // horizon+1 windows once GC has run, which deliver_event guarantees by
+  // advancing the cutoff *before* inserting.
+  [[nodiscard]] std::uint32_t delivered_ring_windows() const { return gc_window_horizon + 1; }
+
+  // Requested flags, proposer lists and retransmit timers also exist for
+  // events *ahead* of our newest delivery (a proposer is at most one serve
+  // round-trip ahead, i.e. well under horizon+1 windows for any sane
+  // horizon), so those rings span twice the delivered depth: horizon+1
+  // windows of history plus horizon+1 of lead.
+  [[nodiscard]] std::uint32_t request_ring_windows() const {
+    return 2 * (gc_window_horizon + 1);
+  }
+
   // Large-scale runs: serves carry declared payload sizes instead of bytes
   // (see gossip::Event). Must match StreamConfig::virtual_payloads and be
   // uniform across the deployment — the flag selects the serve framing both

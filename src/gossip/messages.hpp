@@ -29,44 +29,10 @@ enum class MsgTag : std::uint8_t {
   kTreePush = 7,
 };
 
-// Identifies an event (one stream packet): (window, index-in-window) packed
-// into 64 bits. Index 0..data-1 are data packets, data..total-1 parity.
-class EventId {
- public:
-  constexpr EventId() = default;
-  constexpr EventId(std::uint32_t window, std::uint16_t index)
-      : v_((static_cast<std::uint64_t>(window) << 16) | index) {}
-
-  [[nodiscard]] static constexpr EventId from_raw(std::uint64_t raw) {
-    EventId id;
-    id.v_ = raw;
-    return id;
-  }
-
-  [[nodiscard]] constexpr std::uint64_t raw() const { return v_; }
-  [[nodiscard]] constexpr std::uint32_t window() const {
-    return static_cast<std::uint32_t>(v_ >> 16);
-  }
-  [[nodiscard]] constexpr std::uint16_t index() const {
-    return static_cast<std::uint16_t>(v_ & 0xffff);
-  }
-
-  friend constexpr auto operator<=>(EventId, EventId) = default;
-
- private:
-  std::uint64_t v_ = 0;
-};
-
-}  // namespace hg::gossip
-
-template <>
-struct std::hash<hg::gossip::EventId> {
-  std::size_t operator()(hg::gossip::EventId id) const noexcept {
-    return static_cast<std::size_t>(id.raw() * 0x9e3779b97f4a7c15ULL);  // Fibonacci hash
-  }
-};
-
-namespace hg::gossip {
+// The canonical (window, index) event identifier lives in common/types.hpp
+// alongside NodeId; re-exported here because the wire layer popularized the
+// name and every gossip file spells it unqualified.
+using ::hg::EventId;
 
 // A disseminated event: id + payload. The payload is a refcounted pooled
 // slice — fan-out to many peers and storage for later serves never copy it,

@@ -9,10 +9,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 
 #include "common/types.hpp"
 #include "gossip/messages.hpp"
+#include "gossip/window_ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace hg::gossip {
@@ -30,9 +30,16 @@ class RetransmitTracker {
   // decides whom to re-request from and calls arm() again if it retries.
   using FireFn = std::function<void(EventId, int)>;
 
+  // `geometry` bounds the tracked id domain; the gossip engine passes its
+  // request-ring geometry so both advance in lockstep at gc. The default
+  // suits standalone use (tests) that never calls gc().
   RetransmitTracker(sim::Simulator& simulator, sim::SimTime period, int max_retries,
-                    FireFn fire)
-      : sim_(simulator), period_(period), max_retries_(max_retries), fire_(std::move(fire)) {}
+                    FireFn fire, RingGeometry geometry = {64, 128})
+      : sim_(simulator),
+        period_(period),
+        max_retries_(max_retries),
+        fire_(std::move(fire)),
+        pending_(geometry) {}
 
   // Arms (or re-arms) the timer for `id`. The timeout backs off
   // exponentially with the retry count (x1, x2, x4, x8 capped): at 512 kbps
@@ -40,39 +47,49 @@ class RetransmitTracker {
   // ~2.5 s, so a fixed short timeout would fire while the original serve is
   // still queued and flood the system with duplicate payloads.
   void arm(EventId id, int retry_count) {
-    auto [it, inserted] = pending_.try_emplace(id);
-    if (!inserted) it->second.handle.cancel();
+    auto [entry, inserted] = pending_.insert(id);
+    if (!inserted) entry->handle.cancel();
     if (inserted) ++stats_.timers_started;
-    it->second.retries = retry_count;
+    entry->retries = retry_count;
     const int shift = std::min(retry_count, 3);
     const sim::SimTime timeout = sim::SimTime::us(period_.as_us() << shift);
-    it->second.handle = sim_.after(timeout, [this, id]() { on_fire(id); });
+    entry->handle = sim_.after(timeout, [this, id]() { on_fire(id); });
   }
 
   // The event arrived: stop tracking it.
   void cancel(EventId id) {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    it->second.handle.cancel();
-    pending_.erase(it);
+    PendingEntry* entry = pending_.find(id);
+    if (entry == nullptr) return;
+    entry->handle.cancel();
+    pending_.erase(id);
     ++stats_.cancelled_by_serve;
   }
 
-  // Drop all state for a window (e.g., window decoded or garbage-collected).
+  // Drop all state for a window (e.g., window decoded): cancel every timer,
+  // then release the window's slab.
   void cancel_window(std::uint32_t window) {
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      if (it->first.window() == window) {
-        it->second.handle.cancel();
-        it = pending_.erase(it);
-      } else {
-        ++it;
-      }
+    pending_.for_each_in_window(window,
+                                [](std::uint32_t, PendingEntry& e) { e.handle.cancel(); });
+    pending_.clear_window(window);
+  }
+
+  // Garbage collection: windows below `cutoff` leave the id domain — their
+  // timers are cancelled silently (nothing left to re-request; the engine
+  // dropped the proposer lists in the same sweep).
+  void gc(std::uint32_t cutoff) {
+    for (std::uint32_t w = pending_.base(); w < cutoff; ++w) {
+      pending_.for_each_in_window(w,
+                                  [](std::uint32_t, PendingEntry& e) { e.handle.cancel(); });
     }
+    pending_.advance(cutoff);
   }
 
   [[nodiscard]] bool tracking(EventId id) const { return pending_.contains(id); }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // Heap bytes of the pending ring (ring state + live slabs).
+  [[nodiscard]] std::size_t state_bytes() const { return pending_.state_bytes(); }
 
  private:
   struct PendingEntry {
@@ -81,11 +98,11 @@ class RetransmitTracker {
   };
 
   void on_fire(EventId id) {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;
-    const int retries = it->second.retries;
+    PendingEntry* entry = pending_.find(id);
+    if (entry == nullptr) return;
+    const int retries = entry->retries;
     if (retries >= max_retries_) {
-      pending_.erase(it);
+      pending_.erase(id);
       ++stats_.gave_up;
       return;
     }
@@ -98,7 +115,7 @@ class RetransmitTracker {
   sim::SimTime period_;
   int max_retries_;
   FireFn fire_;
-  std::unordered_map<EventId, PendingEntry> pending_;
+  WindowRing<PendingEntry> pending_;
   Stats stats_;
 };
 

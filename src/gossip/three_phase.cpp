@@ -17,8 +17,15 @@ ThreePhaseGossip::ThreePhaseGossip(sim::Simulator& simulator, net::NetworkFabric
       config_(config),
       policy_(policy),
       rng_(simulator.make_rng(0x474f5353ULL ^ (std::uint64_t{self.value()} << 24))),
+      delivered_(RingGeometry{config.delivered_ring_windows(), config.packets_per_window}),
+      requested_(RingGeometry{config.request_ring_windows(), config.packets_per_window}),
+      proposers_(RingGeometry{config.request_ring_windows(), config.packets_per_window}),
       retransmit_(simulator, config.retransmit_period, config.max_retransmits,
-                  [this](EventId id, int retry) { on_retransmit_fire(id, retry); }) {}
+                  [this](EventId id, int retry) { on_retransmit_fire(id, retry); },
+                  RingGeometry{config.request_ring_windows(), config.packets_per_window}) {
+  HG_ASSERT_MSG(config_.max_proposers_tracked <= ProposerSlot::kCapacity,
+                "proposer slots are fixed-capacity arrays");
+}
 
 void ThreePhaseGossip::start() {
   // Random phase: nodes must not propose in lockstep.
@@ -102,10 +109,12 @@ void ThreePhaseGossip::on_datagram(const net::Datagram& d) {
 }
 
 void ThreePhaseGossip::record_proposer(EventId id, NodeId proposer) {
-  ProposerList& list = proposers_[id];
-  if (list.nodes.size() >= config_.max_proposers_tracked) return;
-  if (std::find(list.nodes.begin(), list.nodes.end(), proposer) == list.nodes.end()) {
-    list.nodes.push_back(proposer);
+  auto [slot, inserted] = proposers_.insert(id);
+  if (slot->count >= config_.max_proposers_tracked) return;
+  const auto begin = slot->nodes.begin();
+  const auto end = begin + slot->count;
+  if (std::find(begin, end, proposer) == end) {
+    slot->nodes[slot->count++] = proposer;
   }
 }
 
@@ -115,8 +124,15 @@ void ThreePhaseGossip::on_propose(const ProposeMsg& m) {
   std::vector<EventId>& wanted = wanted_scratch_;
   wanted.clear();
   for (EventId id : m.ids) {
+    if (!id_admissible(id)) {
+      // Out-of-range packet index, a window gc already reclaimed, or a
+      // window further ahead than any live proposer can be: requesting it
+      // would materialize state the rings cannot (or must no longer) hold.
+      ++stats_.malformed;
+      continue;
+    }
     if (delivered_.contains(id)) continue;
-    if (cancelled_windows_.contains(id.window())) continue;
+    if (requested_.cancelled(id.window())) continue;
     record_proposer(id, m.sender);  // fallback for retransmissions
     if (requested_.contains(id)) continue;
     if (should_request_ && !should_request_(id)) {
@@ -130,7 +146,9 @@ void ThreePhaseGossip::on_propose(const ProposeMsg& m) {
   fabric_.send(self_, m.sender, net::MsgClass::kRequest, encode_request(self_, wanted));
   ++stats_.requests_sent;
   for (EventId id : wanted) {
-    proposers_[id].last_requested = m.sender;
+    ProposerSlot* slot = proposers_.find(id);
+    HG_ASSERT(slot != nullptr);  // record_proposer ran above
+    slot->last_requested = m.sender;
     retransmit_.arm(id, 0);
   }
 }
@@ -143,12 +161,12 @@ void ThreePhaseGossip::on_request(const RequestMsg& m) {
   // slices of it — one allocation per request instead of one per event.
   serve_events_scratch_.clear();
   for (EventId id : m.ids) {
-    const auto it = delivered_.find(id);
-    if (it == delivered_.end()) {
+    const Event* stored = delivered_.find(id);
+    if (stored == nullptr) {
       ++stats_.unknown_requests;
       continue;
     }
-    serve_events_scratch_.push_back(it->second);  // refcounted payload, no byte copy
+    serve_events_scratch_.push_back(*stored);  // refcounted payload, no byte copy
   }
   if (serve_events_scratch_.empty()) return;
   const net::BufferRef batch =
@@ -165,6 +183,12 @@ void ThreePhaseGossip::on_request(const RequestMsg& m) {
 }
 
 void ThreePhaseGossip::on_serve(const ServeMsg& m) {
+  if (!id_admissible(m.event.id)) {
+    // A serve below the gc cutoff would re-insert a delivered event gc
+    // already reclaimed (and re-propose it); reject instead of resurrecting.
+    ++stats_.malformed;
+    return;
+  }
   if (delivered_.contains(m.event.id)) {
     ++stats_.duplicate_serves;  // e.g., a retransmitted request raced the serve
     return;
@@ -178,30 +202,33 @@ void ThreePhaseGossip::deliver_event(Event event) {
   HG_ASSERT(!delivered_.contains(id));
   to_propose_.push_back(id);
   ++stats_.events_delivered;
-  const Event& stored = delivered_.emplace(id, std::move(event)).first->second;
-  proposers_.erase(id);
+  // Advance gc *before* inserting: the delivered ring spans exactly
+  // [cutoff, newest], so a delivery that moves `newest` must move the
+  // cutoff first to make room. The new id is above the cutoff by
+  // construction, so ordering gc first reclaims exactly what it used to.
   if (id.window() > newest_window_seen_) {
     newest_window_seen_ = id.window();
     gc(newest_window_seen_);
   }
-  if (deliver_) deliver_(stored);
+  delivered_.insert(event);
+  proposers_.erase(id);
+  if (deliver_) deliver_(event);
 }
 
 void ThreePhaseGossip::on_retransmit_fire(EventId id, int retry_count) {
   HG_ASSERT(!delivered_.contains(id));  // serve would have cancelled the timer
-  auto it = proposers_.find(id);
-  if (it == proposers_.end() || it->second.nodes.empty()) {
+  ProposerSlot* slot = proposers_.find(id);
+  if (slot == nullptr || slot->count == 0) {
     retransmit_.cancel(id);
     return;
   }
-  ProposerList& list = it->second;
   // Find a proposer other than the one our last request went to; a repeat
   // request would just elicit a duplicate serve from a slow-but-alive peer.
   NodeId target = kInvalidNode;
-  for (std::size_t probe = 0; probe < list.nodes.size(); ++probe) {
-    const NodeId candidate = list.nodes[list.next % list.nodes.size()];
-    ++list.next;
-    if (candidate != list.last_requested) {
+  for (std::uint32_t probe = 0; probe < slot->count; ++probe) {
+    const NodeId candidate = slot->nodes[slot->next % slot->count];
+    ++slot->next;
+    if (candidate != slot->last_requested) {
       target = candidate;
       break;
     }
@@ -212,7 +239,7 @@ void ThreePhaseGossip::on_retransmit_fire(EventId id, int retry_count) {
     retransmit_.arm(id, retry_count);
     return;
   }
-  list.last_requested = target;
+  slot->last_requested = target;
   const EventId one[] = {id};
   fabric_.send(self_, target, net::MsgClass::kRequest, encode_request(self_, one));
   ++stats_.requests_sent;
@@ -220,7 +247,14 @@ void ThreePhaseGossip::on_retransmit_fire(EventId id, int retry_count) {
 }
 
 void ThreePhaseGossip::cancel_window_requests(std::uint32_t window) {
-  cancelled_windows_.insert(window);
+  requested_.set_cancelled(window);
+  // The window's request-side state is dead from here on: the cancelled
+  // flag blocks every future request (and proposer recording) for it, so
+  // release the slabs now instead of carrying them to the gc horizon —
+  // with smart receivers a decoded window strands ~n-k never-delivered
+  // packets whose proposer lists would otherwise linger.
+  requested_.clear_window(window);
+  proposers_.clear_window(window);
   retransmit_.cancel_window(window);
 }
 
@@ -228,11 +262,10 @@ void ThreePhaseGossip::gc(std::uint32_t newest_window) {
   if (newest_window < config_.gc_window_horizon) return;
   const std::uint32_t cutoff = newest_window - config_.gc_window_horizon;
   if (cutoff <= gc_done_below_) return;
-  auto stale = [cutoff](EventId id) { return id.window() < cutoff; };
-  std::erase_if(delivered_, [&](const auto& kv) { return stale(kv.first); });
-  std::erase_if(requested_, stale);
-  std::erase_if(proposers_, [&](const auto& kv) { return stale(kv.first); });
-  std::erase_if(cancelled_windows_, [&](std::uint32_t w) { return w < cutoff; });
+  delivered_.advance(cutoff);
+  requested_.advance(cutoff);  // also resets the dropped windows' cancelled flags
+  proposers_.advance(cutoff);
+  retransmit_.gc(cutoff);
   gc_done_below_ = cutoff;
 }
 

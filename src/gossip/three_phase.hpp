@@ -13,11 +13,14 @@
 // The fanout comes from a FanoutPolicy: a constant for standard gossip, the
 // capability-proportional rule for HEAP — this single indirection is the
 // paper's entire behavioural delta.
+//
+// All per-event state lives in dense window rings (see window_ring.hpp)
+// indexed by the (window, packet) decomposition of EventId — no hashing on
+// the propose/request/serve hot path, and gc is an O(1) ring advance.
 #pragma once
 
+#include <array>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -25,6 +28,7 @@
 #include "gossip/fanout_policy.hpp"
 #include "gossip/messages.hpp"
 #include "gossip/retransmit.hpp"
+#include "gossip/window_ring.hpp"
 #include "membership/directory.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
@@ -62,10 +66,8 @@ class ThreePhaseGossip {
 
   [[nodiscard]] bool has_delivered(EventId id) const { return delivered_.contains(id); }
   // Stored event (payload included) or nullptr if unknown/garbage-collected.
-  [[nodiscard]] const Event* delivered_event(EventId id) const {
-    const auto it = delivered_.find(id);
-    return it == delivered_.end() ? nullptr : &it->second;
-  }
+  // The pointer refers to a scratch slot valid until the next call.
+  [[nodiscard]] const Event* delivered_event(EventId id) const { return delivered_.find(id); }
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] const GossipConfig& config() const { return config_; }
   [[nodiscard]] FanoutPolicy& policy() { return policy_; }
@@ -81,14 +83,30 @@ class ThreePhaseGossip {
     std::uint64_t duplicate_serves = 0;
     std::uint64_t declined_requests = 0;   // vetoed by should_request
     std::uint64_t unknown_requests = 0;    // asked for events we lack
-    std::uint64_t malformed = 0;
+    std::uint64_t malformed = 0;           // undecodable datagrams + out-of-domain ids
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const RetransmitTracker::Stats& retransmit_stats() const {
     return retransmit_.stats();
   }
 
+  // Heap bytes of the per-event protocol state (delivered events, requested
+  // flags, proposer lists, retransmit timers) — the quantity bench_fig_scale
+  // tracks as gossip_state_bytes_per_node.
+  [[nodiscard]] std::size_t state_bytes() const {
+    return delivered_.state_bytes() + requested_.state_bytes() + proposers_.state_bytes() +
+           to_propose_.capacity() * sizeof(EventId) + retransmit_.state_bytes();
+  }
+
  private:
+  // An id is admissible if its packet index fits the window geometry and its
+  // window is neither below the gc cutoff nor beyond the request-ring
+  // domain. Wire ids failing this are malformed: acting on them would
+  // resurrect state gc already reclaimed (or index past a slab).
+  [[nodiscard]] bool id_admissible(EventId id) const {
+    return id.index() < config_.packets_per_window && requested_.in_domain(id.window());
+  }
+
   void gossip_round();
   void gossip_ids(const std::vector<EventId>& ids);
   void on_propose(const ProposeMsg& m);
@@ -110,22 +128,26 @@ class ThreePhaseGossip {
   DeliverFn deliver_;
   ShouldRequestFn should_request_;
 
-  std::unordered_map<EventId, Event> delivered_;
-  std::unordered_set<EventId> requested_;
   // Known proposers per not-yet-delivered event; [0] got the first request,
   // retries walk the rest round-robin. Re-requesting the node that already
   // has our request queued would only produce a duplicate serve, so retries
   // require a *different* target; with no alternate the timer re-arms
   // silently and waits for new proposers.
-  struct ProposerList {
-    std::vector<NodeId> nodes;
+  struct ProposerSlot {
+    static constexpr std::size_t kCapacity = 8;
+    std::array<NodeId, kCapacity> nodes;
+    std::uint32_t count = 0;
     std::uint32_t next = 1;              // index of the proposer for the next retry
     NodeId last_requested;               // whoever got the latest request
   };
-  std::unordered_map<EventId, ProposerList> proposers_;
+
+  EventRing delivered_;
+  // Requested flags; also carries the per-window cancelled flags that
+  // replaced the old unbounded cancelled-window set.
+  WindowRing<void> requested_;
+  WindowRing<ProposerSlot> proposers_;
   std::vector<EventId> to_propose_;
   RetransmitTracker retransmit_;
-  std::unordered_set<std::uint32_t> cancelled_windows_;
 
   sim::Simulator::PeriodicHandle timer_;
   std::uint32_t newest_window_seen_ = 0;

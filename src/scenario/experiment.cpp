@@ -26,6 +26,9 @@ PopulationPlan ExperimentConfig::population_plan() const {
   plan.node.gossip.retransmit_period = retransmit_period;
   plan.node.gossip.max_retransmits = max_retransmits;
   plan.node.gossip.gc_window_horizon = gc_window_horizon;
+  // Gossip and stream must agree on the (window, index) geometry: the ring
+  // slabs are sized by it, and ids indexing past it are malformed.
+  plan.node.gossip.packets_per_window = static_cast<std::uint32_t>(stream.window_packets());
   plan.node.gossip.virtual_payloads = virtual_payloads || stream.virtual_payloads;
   plan.node.aggregation = aggregation;
   plan.node.max_fanout = max_fanout;

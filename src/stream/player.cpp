@@ -6,15 +6,16 @@ namespace hg::stream {
 
 Player::Player(sim::Simulator& simulator, StreamConfig config, std::uint32_t windows_total,
                Recording recording)
-    : sim_(simulator), config_(config), recording_(recording) {
+    : sim_(simulator),
+      config_(config),
+      recording_(recording),
+      seen_(gossip::RingGeometry{recording == Recording::kLean ? windows_total : 0,
+                                 static_cast<std::uint32_t>(config.window_packets())}) {
   windows_.resize(windows_total);
   if (recording_ == Recording::kFull) {
     for (auto& w : windows_) {
       w.arrival.assign(config_.window_packets(), sim::SimTime::max());
     }
-  } else {
-    const std::size_t bits = windows_total * config_.window_packets();
-    seen_bits_.assign((bits + 63) / 64, 0);
   }
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "gossip/messages.hpp"
+#include "gossip/window_ring.hpp"
 #include "sim/simulator.hpp"
 #include "stream/packet.hpp"
 
@@ -87,19 +88,21 @@ class Player {
 
  private:
   [[nodiscard]] bool seen(std::uint32_t window, std::uint16_t index) const {
-    const std::size_t bit = window * config_.window_packets() + index;
-    return (seen_bits_[bit >> 6] >> (bit & 63)) & 1u;
+    return seen_.contains(gossip::EventId{window, index});
   }
   void mark_seen(std::uint32_t window, std::uint16_t index) {
-    const std::size_t bit = window * config_.window_packets() + index;
-    seen_bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    seen_.insert(gossip::EventId{window, index});
   }
 
   sim::Simulator& sim_;
   StreamConfig config_;
   Recording recording_;
   std::vector<WindowRecord> windows_;
-  std::vector<std::uint64_t> seen_bits_;  // lean mode: packet dedup bitmap
+  // Lean mode: per-window packet dedup bitmaps, addressed by the same
+  // (window, index) scheme the gossip rings use. The player measures the
+  // whole stream, so the ring spans every window and its base never
+  // advances. Empty (zero windows) in full-recording mode.
+  gossip::WindowRing<void> seen_;
   bool smart_ = true;
   std::uint32_t request_slack_ = 3;
   sim::SimTime grant_ttl_ = sim::SimTime::sec(10.0);

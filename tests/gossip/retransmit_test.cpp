@@ -82,6 +82,33 @@ TEST(Retransmit, CancelWindowDropsAllEntries) {
   EXPECT_EQ(fires, 1);  // only the window-8 timer fired
 }
 
+TEST(Retransmit, GcSilentlyDropsTimersBelowCutoff) {
+  sim::Simulator s(1);
+  int fires = 0;
+  RetransmitTracker t(s, sim::SimTime::ms(100), 5, [&](EventId, int) { ++fires; });
+  for (std::uint32_t w = 0; w < 4; ++w) t.arm(EventId{w, 0}, 0);
+  t.gc(2);  // windows 0 and 1 leave the domain
+  EXPECT_EQ(t.pending_count(), 2u);
+  EXPECT_FALSE(t.tracking(EventId{0, 0}));
+  EXPECT_FALSE(t.tracking(EventId{1, 0}));
+  EXPECT_TRUE(t.tracking(EventId{2, 0}));
+  s.run_until(sim::SimTime::sec(1));
+  EXPECT_EQ(fires, 2);  // the gc'd timers were cancelled, not fired
+  // Silent: gc'd timers are neither serves nor give-ups.
+  EXPECT_EQ(t.stats().cancelled_by_serve, 0u);
+  EXPECT_EQ(t.stats().gave_up, 0u);
+}
+
+TEST(Retransmit, StateBytesShrinkWithCancellation) {
+  sim::Simulator s(1);
+  RetransmitTracker t(s, sim::SimTime::ms(100), 5, [](EventId, int) {});
+  const std::size_t idle = t.state_bytes();
+  for (std::uint16_t i = 0; i < 20; ++i) t.arm(EventId{3, i}, 0);
+  EXPECT_GT(t.state_bytes(), idle);
+  t.cancel_window(3);
+  EXPECT_EQ(t.state_bytes(), idle);  // slab released with the last timer
+}
+
 TEST(Retransmit, RearmResetsTimer) {
   sim::Simulator s(1);
   std::vector<sim::SimTime> at;

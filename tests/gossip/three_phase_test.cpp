@@ -256,6 +256,96 @@ TEST(ThreePhase, BatchedServeAnswersMultiIdRequestInOneBuffer) {
   EXPECT_EQ(s.delivered[1].size(), 3u);
 }
 
+TEST(ThreePhase, ProposeWithOutOfRangePacketIndexIsMalformed) {
+  Swarm s(4);
+  // Index 110 == packets-per-window: one past the last valid slot. Mixed
+  // with a valid id: only the valid one is requested, the bad one counts
+  // as malformed instead of materializing ring state.
+  const std::uint16_t ppw =
+      static_cast<std::uint16_t>(s.nodes[3]->config().packets_per_window);
+  s.nodes[3]->on_datagram(net::Datagram{
+      NodeId{1}, NodeId{3}, net::MsgClass::kPropose,
+      encode(ProposeMsg{NodeId{1}, {EventId{0, ppw}, EventId{0, 0}, EventId{0, 9999}}})});
+  EXPECT_EQ(s.nodes[3]->stats().malformed, 2u);
+  EXPECT_EQ(s.nodes[3]->stats().requests_sent, 1u);
+  s.sim.run_until(sim::SimTime::sec(20));
+  EXPECT_FALSE(s.nodes[3]->has_delivered(EventId{0, ppw}));
+  // The malformed id never armed a retransmit timer either.
+  EXPECT_EQ(s.nodes[3]->retransmit_stats().timers_started, 1u);
+}
+
+TEST(ThreePhase, ServeWithOutOfRangePacketIndexIsMalformed) {
+  Swarm s(2);
+  const std::uint16_t ppw =
+      static_cast<std::uint16_t>(s.nodes[1]->config().packets_per_window);
+  const Event ev{EventId{0, ppw},
+                 net::BufferRef::copy_of(std::vector<std::uint8_t>(64, 0x22))};
+  s.nodes[1]->on_datagram(net::Datagram{NodeId{0}, NodeId{1}, net::MsgClass::kServe,
+                                        encode(ServeMsg{NodeId{0}, ev})});
+  EXPECT_EQ(s.nodes[1]->stats().malformed, 1u);
+  EXPECT_EQ(s.nodes[1]->stats().events_delivered, 0u);
+  EXPECT_FALSE(s.nodes[1]->has_delivered(EventId{0, ppw}));
+}
+
+TEST(ThreePhase, ProposeBelowGcCutoffIsMalformed) {
+  GossipConfig cfg;
+  cfg.gc_window_horizon = 3;
+  Swarm s(2, cfg);
+  for (std::uint32_t w = 0; w < 10; ++w) {
+    s.nodes[0]->publish(s.make_event(w, 0));
+    s.sim.run_until(sim::SimTime::sec(1 + w));
+  }
+  // Newest window 9, horizon 3: windows < 6 are gc'd on node 0.
+  ASSERT_FALSE(s.nodes[0]->has_delivered(EventId{0, 0}));
+  const auto requests_before = s.nodes[0]->stats().requests_sent;
+  s.nodes[0]->on_datagram(net::Datagram{NodeId{1}, NodeId{0}, net::MsgClass::kPropose,
+                                        encode(ProposeMsg{NodeId{1}, {EventId{0, 1}}})});
+  EXPECT_EQ(s.nodes[0]->stats().malformed, 1u);
+  EXPECT_EQ(s.nodes[0]->stats().requests_sent, requests_before);
+}
+
+TEST(ThreePhase, StaleServeDoesNotResurrectGcdEvent) {
+  GossipConfig cfg;
+  cfg.gc_window_horizon = 3;
+  Swarm s(2, cfg);
+  for (std::uint32_t w = 0; w < 10; ++w) {
+    s.nodes[0]->publish(s.make_event(w, 0));
+    s.sim.run_until(sim::SimTime::sec(1 + w));
+  }
+  s.sim.run_until(sim::SimTime::sec(30));
+  ASSERT_FALSE(s.nodes[0]->has_delivered(EventId{0, 0}));
+  const auto delivered_before = s.nodes[0]->stats().events_delivered;
+  const auto proposed_before = s.nodes[0]->stats().ids_proposed;
+  // A straggler re-serves the long-collected event. Re-inserting it would
+  // resurrect gc'd state — and re-propose an id everyone forgot about.
+  const Event stale{EventId{0, 0},
+                    net::BufferRef::copy_of(std::vector<std::uint8_t>(64, 0x33))};
+  s.nodes[0]->on_datagram(net::Datagram{NodeId{1}, NodeId{0}, net::MsgClass::kServe,
+                                        encode(ServeMsg{NodeId{1}, stale})});
+  EXPECT_EQ(s.nodes[0]->stats().malformed, 1u);
+  EXPECT_EQ(s.nodes[0]->stats().events_delivered, delivered_before);
+  EXPECT_FALSE(s.nodes[0]->has_delivered(EventId{0, 0}));
+  s.sim.run_until(sim::SimTime::sec(40));
+  EXPECT_EQ(s.nodes[0]->stats().ids_proposed, proposed_before);  // not re-proposed
+}
+
+TEST(ThreePhase, CancellingManyWindowsDoesNotAllocate) {
+  Swarm s(2);
+  const std::size_t idle = s.nodes[1]->state_bytes();
+  // Cancel every window the request ring can address (and a stale/far one,
+  // which is ignored): the flags live in the fixed ring state, so the old
+  // unbounded cancelled-window set's growth is structurally impossible.
+  for (std::uint32_t w = 0; w < s.nodes[1]->config().request_ring_windows(); ++w) {
+    s.nodes[1]->cancel_window_requests(w);
+  }
+  s.nodes[1]->cancel_window_requests(1u << 20);
+  EXPECT_EQ(s.nodes[1]->state_bytes(), idle);
+  // And the flags actually suppress requests.
+  s.nodes[1]->on_datagram(net::Datagram{NodeId{0}, NodeId{1}, net::MsgClass::kPropose,
+                                        encode(ProposeMsg{NodeId{0}, {EventId{3, 0}}})});
+  EXPECT_EQ(s.nodes[1]->stats().requests_sent, 0u);
+}
+
 TEST(ThreePhase, StatsAreConsistent) {
   Swarm s(20, GossipConfig{}, /*fanout=*/7.0);
   for (std::uint16_t k = 0; k < 5; ++k) s.nodes[0]->publish(s.make_event(0, k));

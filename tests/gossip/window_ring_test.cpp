@@ -1,0 +1,296 @@
+// WindowRing / EventRing property tests: wraparound reuse after gc,
+// clear-window idempotence, allocation-free window cancellation, and
+// behavioural equivalence with the hash containers the rings replaced under
+// a randomized propose/request/serve/cancel/gc driver.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gossip/window_ring.hpp"
+#include "net/buffer.hpp"
+
+namespace hg::gossip {
+namespace {
+
+TEST(WindowRing, InsertFindErase) {
+  WindowRing<int> ring({/*windows=*/4, /*slots=*/16});
+  const EventId id{1, 3};
+  EXPECT_FALSE(ring.contains(id));
+  EXPECT_EQ(ring.find(id), nullptr);
+
+  auto [value, inserted] = ring.insert(id);
+  EXPECT_TRUE(inserted);
+  *value = 42;
+  EXPECT_TRUE(ring.contains(id));
+  EXPECT_EQ(*ring.find(id), 42);
+  EXPECT_EQ(ring.size(), 1u);
+
+  auto [again, fresh] = ring.insert(id);
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(*again, 42);  // try_emplace semantics: no reset of live values
+  EXPECT_EQ(ring.size(), 1u);
+
+  EXPECT_TRUE(ring.erase(id));
+  EXPECT_FALSE(ring.erase(id));
+  EXPECT_FALSE(ring.contains(id));
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(WindowRing, VoidRingIsABitmap) {
+  WindowRing<void> ring({4, 16});
+  EXPECT_TRUE(ring.insert(EventId{2, 5}));
+  EXPECT_FALSE(ring.insert(EventId{2, 5}));
+  EXPECT_TRUE(ring.contains(EventId{2, 5}));
+  EXPECT_FALSE(ring.contains(EventId{2, 6}));
+  EXPECT_FALSE(ring.contains(EventId{6, 5}));  // out of domain reports absence
+}
+
+TEST(WindowRing, OutOfDomainLookupsAreSafe) {
+  WindowRing<int> ring({4, 16});
+  ring.advance(10);
+  EXPECT_FALSE(ring.contains(EventId{9, 0}));    // below base
+  EXPECT_FALSE(ring.contains(EventId{14, 0}));   // beyond base + windows
+  EXPECT_FALSE(ring.contains(EventId{10, 16}));  // slot out of range
+  EXPECT_EQ(ring.find(EventId{9, 0}), nullptr);
+  EXPECT_FALSE(ring.erase(EventId{9, 0}));
+  ring.set_cancelled(9);  // ignored, window already gc'd
+  EXPECT_FALSE(ring.cancelled(9));
+}
+
+TEST(WindowRing, WraparoundReusesSlotsCleanAfterGc) {
+  WindowRing<int> ring({3, 8});
+  for (std::uint16_t i = 0; i < 8; ++i) *ring.insert(EventId{0, i}).first = 100 + i;
+  *ring.insert(EventId{2, 4}).first = 7;
+  ring.set_cancelled(0);
+
+  // Advance so window 3 maps onto window 0's old ring slot.
+  ring.advance(3);
+  EXPECT_EQ(ring.size(), 0u);
+  for (std::uint16_t i = 0; i < 8; ++i) EXPECT_FALSE(ring.contains(EventId{0, i}));
+  EXPECT_FALSE(ring.cancelled(3));  // the reused slot's flag was reset
+
+  auto [value, inserted] = ring.insert(EventId{3, 2});
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*value, 0);  // fresh default, not window 0's leftover 102
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    if (i != 2) {
+      EXPECT_FALSE(ring.contains(EventId{3, i}));
+    }
+  }
+}
+
+TEST(WindowRing, AdvanceFarBeyondCapacityDropsEverything) {
+  WindowRing<int> ring({4, 8});
+  for (std::uint32_t w = 0; w < 4; ++w) ring.insert(EventId{w, 1});
+  ring.advance(1000);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.base(), 1000u);
+  for (std::uint32_t w = 1000; w < 1004; ++w) {
+    EXPECT_FALSE(ring.contains(EventId{w, 1}));
+    EXPECT_TRUE(ring.insert(EventId{w, 1}).second);
+  }
+}
+
+TEST(WindowRing, AdvanceBackwardsIsANoOp) {
+  WindowRing<int> ring({4, 8});
+  ring.advance(10);
+  ring.insert(EventId{11, 3});
+  ring.advance(10);
+  ring.advance(5);
+  EXPECT_EQ(ring.base(), 10u);
+  EXPECT_TRUE(ring.contains(EventId{11, 3}));
+}
+
+TEST(WindowRing, ClearWindowIsIdempotent) {
+  WindowRing<int> ring({4, 8});
+  ring.insert(EventId{1, 0});
+  ring.insert(EventId{1, 7});
+  ring.insert(EventId{2, 3});
+  ring.clear_window(1);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_FALSE(ring.contains(EventId{1, 0}));
+  EXPECT_TRUE(ring.contains(EventId{2, 3}));
+  const std::size_t bytes = ring.state_bytes();
+  ring.clear_window(1);  // idempotent: no state change, no double-count
+  ring.clear_window(99);  // out of domain: ignored
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.state_bytes(), bytes);
+  EXPECT_TRUE(ring.insert(EventId{1, 0}).second);
+}
+
+TEST(WindowRing, ClearWindowKeepsCancelledFlag) {
+  WindowRing<void> ring({4, 8});
+  ring.insert(EventId{1, 2});
+  ring.set_cancelled(1);
+  ring.clear_window(1);
+  EXPECT_TRUE(ring.cancelled(1));  // flags outlive entries until gc
+  ring.advance(2);
+  EXPECT_FALSE(ring.cancelled(1));
+}
+
+TEST(WindowRing, CancellingManyWindowsDoesNotAllocate) {
+  WindowRing<void> ring({64, 128});
+  const std::size_t idle = ring.state_bytes();
+  for (std::uint32_t w = 0; w < 64; ++w) ring.set_cancelled(w);
+  EXPECT_EQ(ring.state_bytes(), idle);  // flags live in the fixed ring state
+  for (std::uint32_t w = 0; w < 64; ++w) EXPECT_TRUE(ring.cancelled(w));
+  // And across gc churn the footprint stays flat — the old unordered set
+  // grew by one node per cancelled window between sweeps.
+  for (std::uint32_t base = 1; base < 10000; base += 97) {
+    ring.advance(base);
+    for (std::uint32_t w = base; w < base + 64; w += 3) ring.set_cancelled(w);
+    EXPECT_EQ(ring.state_bytes(), idle);
+  }
+}
+
+TEST(WindowRing, SlabReleasedWhenWindowEmpties) {
+  WindowRing<int> ring({8, 128});
+  const std::size_t idle = ring.state_bytes();
+  ring.insert(EventId{3, 10});
+  ring.insert(EventId{3, 11});
+  EXPECT_GT(ring.state_bytes(), idle);
+  ring.erase(EventId{3, 10});
+  EXPECT_GT(ring.state_bytes(), idle);
+  ring.erase(EventId{3, 11});
+  EXPECT_EQ(ring.state_bytes(), idle);  // release-on-empty
+}
+
+TEST(WindowRing, ForEachVisitsInIndexOrder) {
+  WindowRing<int> ring({4, 200});
+  for (std::uint16_t i : {150, 3, 64, 63, 7}) *ring.insert(EventId{1, i}).first = i;
+  std::vector<std::uint32_t> order;
+  ring.for_each_in_window(1, [&](std::uint32_t index, int& value) {
+    EXPECT_EQ(value, static_cast<int>(index));
+    order.push_back(index);
+  });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{3, 7, 63, 64, 150}));
+}
+
+// The randomized equivalence drive: a WindowRing and the unordered
+// containers it replaced, fed the same gc-disciplined op stream
+// (insert/erase/cancel/clear/advance), must agree on every lookup.
+TEST(WindowRing, FuzzEquivalentToHashContainers) {
+  constexpr std::uint32_t kWindows = 8;
+  constexpr std::uint32_t kSlots = 24;
+  WindowRing<std::uint32_t> ring({kWindows, kSlots});
+  std::unordered_map<EventId, std::uint32_t> map;
+  std::unordered_set<std::uint32_t> cancelled;
+  std::uint32_t base = 0;
+  std::uint32_t stamp = 1;
+  Rng rng(0x57a7e0f0516ull);
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto window = base + static_cast<std::uint32_t>(rng.below(kWindows));
+    const EventId id{window, static_cast<std::uint16_t>(rng.below(kSlots))};
+    switch (rng.below(16)) {
+      case 0: {  // gc
+        const auto new_base = base + static_cast<std::uint32_t>(rng.below(3));
+        ring.advance(new_base);
+        if (new_base > base) {
+          std::erase_if(map, [&](const auto& kv) { return kv.first.window() < new_base; });
+          std::erase_if(cancelled, [&](std::uint32_t w) { return w < new_base; });
+          base = new_base;
+        }
+        break;
+      }
+      case 1:
+        ring.set_cancelled(window);
+        cancelled.insert(window);
+        break;
+      case 2:
+        std::erase_if(map, [&](const auto& kv) { return kv.first.window() == window; });
+        ring.clear_window(window);
+        break;
+      case 3:
+      case 4:
+        EXPECT_EQ(ring.erase(id), map.erase(id) > 0);
+        break;
+      default: {
+        if (rng.below(2) == 0) {
+          auto [value, inserted] = ring.insert(id);
+          auto [it, map_inserted] = map.try_emplace(id, 0u);
+          ASSERT_EQ(inserted, map_inserted);
+          if (inserted) {
+            *value = it->second = stamp++;
+          }
+          ASSERT_EQ(*value, it->second);
+        } else {
+          const auto it = map.find(id);
+          const std::uint32_t* value = ring.find(id);
+          ASSERT_EQ(value != nullptr, it != map.end());
+          if (value != nullptr) {
+            ASSERT_EQ(*value, it->second);
+          }
+          ASSERT_EQ(ring.cancelled(window), cancelled.contains(window));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(ring.size(), map.size());
+  }
+}
+
+TEST(EventRing, StoresVirtualAndRealPayloads) {
+  EventRing ring({4, 8});
+  const std::uint8_t bytes[] = {1, 2, 3, 4};
+  Event real{EventId{0, 1}, net::BufferRef::copy_of(bytes), 0};
+  Event virt{EventId{0, 2}, net::BufferRef{}, 1316};
+  ring.insert(real);
+  ring.insert(virt);
+  EXPECT_EQ(ring.size(), 2u);
+
+  const Event* r = ring.find(EventId{0, 1});
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->id, (EventId{0, 1}));
+  ASSERT_TRUE(r->payload);
+  EXPECT_EQ(r->payload.size(), 4u);
+  EXPECT_FALSE(r->virtual_payload());
+
+  const Event* v = ring.find(EventId{0, 2});
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(v->virtual_payload());
+  EXPECT_EQ(v->payload_size(), 1316u);
+
+  EXPECT_EQ(ring.find(EventId{1, 1}), nullptr);
+  EXPECT_EQ(ring.find(EventId{0, 3}), nullptr);
+}
+
+TEST(EventRing, VirtualWindowsAllocateNoPayloadSlabs) {
+  EventRing virt_ring({4, 110});
+  EventRing real_ring({4, 110});
+  const std::uint8_t bytes[] = {9};
+  for (std::uint16_t i = 0; i < 110; ++i) {
+    virt_ring.insert(Event{EventId{0, i}, net::BufferRef{}, 1316});
+    real_ring.insert(Event{EventId{0, i}, net::BufferRef::copy_of(bytes), 0});
+  }
+  // Same occupancy, but the all-virtual window carries no BufferRef array.
+  EXPECT_EQ(real_ring.state_bytes() - virt_ring.state_bytes(),
+            110 * sizeof(net::BufferRef));
+}
+
+TEST(EventRing, AdvanceReleasesPayloadRefs) {
+  EventRing ring({2, 8});
+  const std::uint8_t bytes[] = {1, 2, 3};
+  net::BufferRef payload = net::BufferRef::copy_of(bytes);
+  ring.insert(Event{EventId{0, 0}, payload, 0});
+  ring.insert(Event{EventId{1, 0}, net::BufferRef{}, 99});
+  const std::size_t loaded = ring.state_bytes();
+  ring.advance(2);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_LT(ring.state_bytes(), loaded);
+  EXPECT_FALSE(ring.contains(EventId{0, 0}));
+  EXPECT_FALSE(ring.contains(EventId{1, 0}));
+  // Wraparound reuse: window 2 lands on window 0's slot, starts clean.
+  ring.insert(Event{EventId{2, 5}, net::BufferRef{}, 7});
+  const Event* e = ring.find(EventId{2, 5});
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->payload);
+  EXPECT_EQ(e->virtual_size, 7u);
+}
+
+}  // namespace
+}  // namespace hg::gossip
