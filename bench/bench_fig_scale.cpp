@@ -45,6 +45,15 @@ struct RunStats {
   std::uint64_t events = 0;
   double gossip_state_bytes_per_node = 0;  // end-of-run mean per receiver
   std::vector<ClassPercentiles> classes;
+  // Superstep engine counters (all zero in sequential runs). Functions of
+  // (seed, partitions, placement) only — never of the worker count.
+  std::uint32_t partitions = 0;
+  std::uint64_t epochs_run = 0;
+  std::uint64_t epochs_skipped = 0;
+  std::uint64_t local_datagrams = 0;
+  std::uint64_t xpart_datagrams = 0;
+  std::uint64_t filtered_dead = 0;
+  std::uint64_t xpart_exchange_bytes = 0;
 };
 
 // Lag beyond which a node counts as "never jitter-free" (axis cap, matching
@@ -101,6 +110,7 @@ RunStats analyze(const scenario::Experiment& e) {
 }
 
 struct LadderRow {
+  const char* scenario = "steady";
   std::size_t nodes = 0;
   std::size_t seeds = 0;
   std::size_t workers = 0;     // intra-run workers (0 = sequential engine)
@@ -110,6 +120,22 @@ struct LadderRow {
   double rss_mb = 0;
   double gossip_state_bytes_per_node = 0;  // seed-averaged, end-of-run
   std::vector<ClassPercentiles> classes;   // seed-averaged
+  // Superstep counters, summed over seeds (zero in sequential runs).
+  std::uint32_t partitions = 0;
+  std::uint64_t epochs_run = 0;
+  std::uint64_t epochs_skipped = 0;
+  std::uint64_t local_datagrams = 0;
+  std::uint64_t xpart_datagrams = 0;
+  std::uint64_t filtered_dead = 0;
+  std::uint64_t xpart_exchange_bytes = 0;
+
+  // Share of fabric sends that had to cross a partition boundary (dead-
+  // destination drops count as sends: the sender paid for them).
+  [[nodiscard]] double xpart_fraction() const {
+    const auto total = local_datagrams + xpart_datagrams + filtered_dead;
+    return total > 0 ? static_cast<double>(xpart_datagrams) / static_cast<double>(total)
+                     : 0.0;
+  }
 };
 
 // Runs one rung's seed sweep at the given intra-run worker count; returns
@@ -125,6 +151,17 @@ double time_rung(const scenario::ExperimentConfig& base, const std::vector<std::
                              [&](scenario::Experiment& e) {
                                RunStats s = analyze(e);
                                s.events = e.events_executed();
+                               if (e.deployment().parallel()) {
+                                 const auto& eng = e.deployment().engine();
+                                 s.partitions = eng.partitions();
+                                 s.epochs_run = eng.epochs_run();
+                                 s.epochs_skipped = eng.epochs_skipped();
+                                 const auto c = e.fabric().superstep_counters();
+                                 s.local_datagrams = c.local_datagrams;
+                                 s.xpart_datagrams = c.xpart_datagrams;
+                                 s.filtered_dead = c.filtered_dead;
+                                 s.xpart_exchange_bytes = c.xpart_exchange_bytes;
+                               }
                                return s;
                              });
   const double wall =
@@ -133,16 +170,38 @@ double time_rung(const scenario::ExperimentConfig& base, const std::vector<std::
   return wall;
 }
 
+// Rung configs. "steady": the HEAP scale preset as-is. "churn": standard
+// gossip (event-driven nodes go idle between bursts, so epoch widening has
+// phases to skip) plus a 20% mass crash a third of the way into the stream —
+// the startup ramp, the crash wake, and the post-stream tail all exercise
+// the widening and dead-destination paths.
+scenario::ExperimentConfig rung_config(std::size_t n, bool churn) {
+  if (!churn) {
+    scenario::ExperimentConfig cfg = scenario::ScalePreset::config(n);
+    cfg.partitions = env_partitions();  // 0 = auto
+    return cfg;
+  }
+  scenario::ExperimentConfig cfg = scenario::ScalePreset::config(n, core::Mode::kStandard);
+  cfg.partitions = env_partitions();
+  const double stream_sec =
+      cfg.stream.window_duration_sec() * static_cast<double>(cfg.stream_windows);
+  cfg.churn = {{sim::SimTime::sec(2.0 + stream_sec / 3.0), 0.2}};
+  cfg.detection.mean = sim::SimTime::sec(10.0);
+  return cfg;
+}
+
 LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads,
-                   std::size_t workers) {
-  std::fprintf(stderr, "[bench] scale rung: %zu nodes, %zu seed%s, %zu worker%s...\n", n,
-               n_seeds, n_seeds == 1 ? "" : "s", workers, workers == 1 ? "" : "s");
-  const scenario::ExperimentConfig base = scenario::ScalePreset::config(n);
+                   std::size_t workers, bool churn) {
+  std::fprintf(stderr, "[bench] scale rung (%s): %zu nodes, %zu seed%s, %zu worker%s...\n",
+               churn ? "churn" : "steady", n, n_seeds, n_seeds == 1 ? "" : "s", workers,
+               workers == 1 ? "" : "s");
+  const scenario::ExperimentConfig base = rung_config(n, churn);
   std::vector<std::uint64_t> seeds;
   for (std::size_t i = 0; i < n_seeds; ++i) seeds.push_back(base.seed + i);
 
   std::vector<RunStats> per_seed;
   LadderRow row;
+  row.scenario = churn ? "churn" : "steady";
   row.nodes = n;
   row.seeds = n_seeds;
   row.workers = workers;
@@ -182,6 +241,13 @@ LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads,
   for (const RunStats& s : per_seed) {
     row.events += s.events;
     row.gossip_state_bytes_per_node += s.gossip_state_bytes_per_node;
+    row.partitions = s.partitions;  // identical across seeds (function of N)
+    row.epochs_run += s.epochs_run;
+    row.epochs_skipped += s.epochs_skipped;
+    row.local_datagrams += s.local_datagrams;
+    row.xpart_datagrams += s.xpart_datagrams;
+    row.filtered_dead += s.filtered_dead;
+    row.xpart_exchange_bytes += s.xpart_exchange_bytes;
   }
   row.gossip_state_bytes_per_node /= static_cast<double>(per_seed.size());
   row.rss_mb = peak_rss_mb();
@@ -189,8 +255,8 @@ LadderRow run_rung(std::size_t n, std::size_t n_seeds, std::size_t threads,
 }
 
 void print_row(const LadderRow& row) {
-  std::printf("--- %zu nodes (%zu seed%s, %zu worker%s) ---\n", row.nodes, row.seeds,
-              row.seeds == 1 ? "" : "s", row.workers, row.workers == 1 ? "" : "s");
+  std::printf("--- %zu nodes, %s (%zu seed%s, %zu worker%s) ---\n", row.nodes, row.scenario,
+              row.seeds, row.seeds == 1 ? "" : "s", row.workers, row.workers == 1 ? "" : "s");
   std::printf(
       "wall %.1f s | %.0f events/s | %.0f node-runs/s | peak RSS %.0f MB | gossip state "
       "%.0f B/node",
@@ -201,6 +267,15 @@ void print_row(const LadderRow& row) {
     std::printf(" | %.2fx vs 1 worker", row.speedup_vs_1w);
   }
   std::printf("\n");
+  if (row.partitions > 0) {
+    std::printf(
+        "superstep: %u partitions | %llu epochs (+%llu skipped) | %llu xpart msgs "
+        "(%.1f%% of sends) | %.1f MB exchanged\n",
+        row.partitions, static_cast<unsigned long long>(row.epochs_run),
+        static_cast<unsigned long long>(row.epochs_skipped),
+        static_cast<unsigned long long>(row.xpart_datagrams), 100.0 * row.xpart_fraction(),
+        static_cast<double>(row.xpart_exchange_bytes) / (1024.0 * 1024.0));
+  }
   metrics::Table t({"class", "nodes", "lag p50", "lag p90", "lag p99", "jitter% p50",
                     "jitter% p90", "jitter% p99"});
   for (const auto& c : row.classes) {
@@ -220,16 +295,25 @@ void write_json(const std::vector<LadderRow>& rows) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const LadderRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"nodes\": %zu, \"seeds\": %zu, \"workers\": %zu, \"wall_sec\": %.3f, "
+                 "    {\"nodes\": %zu, \"scenario\": \"%s\", \"seeds\": %zu, "
+                 "\"workers\": %zu, \"wall_sec\": %.3f, "
                  "\"speedup_vs_1w\": %.3f, "
                  "\"events\": %llu, \"events_per_sec\": %.1f, \"nodes_per_sec\": %.1f, "
                  "\"peak_rss_mb\": %.1f, \"gossip_state_bytes_per_node\": %.1f, "
+                 "\"partitions\": %u, \"epochs_run\": %llu, \"epochs_skipped\": %llu, "
+                 "\"xpart_datagrams\": %llu, \"xpart_exchange_bytes\": %llu, "
+                 "\"xpart_datagram_fraction\": %.6f, "
                  "\"classes\": [",
-                 r.nodes, r.seeds, r.workers, r.wall_sec, r.speedup_vs_1w,
+                 r.nodes, r.scenario, r.seeds, r.workers, r.wall_sec, r.speedup_vs_1w,
                  static_cast<unsigned long long>(r.events),
                  static_cast<double>(r.events) / r.wall_sec,
                  static_cast<double>(r.nodes * r.seeds) / r.wall_sec, r.rss_mb,
-                 r.gossip_state_bytes_per_node);
+                 r.gossip_state_bytes_per_node, r.partitions,
+                 static_cast<unsigned long long>(r.epochs_run),
+                 static_cast<unsigned long long>(r.epochs_skipped),
+                 static_cast<unsigned long long>(r.xpart_datagrams),
+                 static_cast<unsigned long long>(r.xpart_exchange_bytes),
+                 r.xpart_fraction());
     for (std::size_t c = 0; c < r.classes.size(); ++c) {
       const ClassPercentiles& p = r.classes[c];
       std::fprintf(f,
@@ -265,9 +349,18 @@ int main(int argc, char** argv) {
   hg::warn_if_oversubscribed(workers, threads_from_env() > 0 ? threads_from_env()
                                                              : seeds_from_env());
   std::vector<LadderRow> rows;
-  for (std::size_t n : ladder) {
-    rows.push_back(run_rung(n, seeds_from_env(), threads_from_env(), workers));
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    rows.push_back(run_rung(ladder[i], seeds_from_env(), threads_from_env(), workers,
+                            /*churn=*/false));
     print_row(rows.back());
+    if (i == 0) {
+      // Churn rung (smallest population only): standard-mode nodes idle
+      // between gossip bursts, so this is where epochs_skipped and the
+      // dead-destination filter actually move.
+      rows.push_back(run_rung(ladder[i], seeds_from_env(), threads_from_env(), workers,
+                              /*churn=*/true));
+      print_row(rows.back());
+    }
   }
   write_json(rows);
   return 0;

@@ -503,8 +503,8 @@ BENCHMARK(BM_ParallelSuperstepEpochDrain)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ParallelSuperstepBufferExchange(benchmark::State& state) {
   // Cost of the barrier exchange itself: every datagram crosses a partition
-  // boundary, so each epoch gathers, orders, deep-copies, and re-schedules
-  // the full outbox volume. Arg = worker threads.
+  // boundary, so each epoch gathers, orders, imports, and re-schedules the
+  // full outbox volume (default batched mode). Arg = worker threads.
   const auto workers = static_cast<std::size_t>(state.range(0));
   constexpr std::uint32_t kNodes = 256;
   sim::ShardedEngine engine(11, kNodes, {4, workers, sim::SimTime::ms(1)});
@@ -529,6 +529,80 @@ void BM_ParallelSuperstepBufferExchange(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kNodes);
 }
 BENCHMARK(BM_ParallelSuperstepBufferExchange)->Arg(1)->Arg(2)->Arg(4);
+
+// Batched (pooled segment blocks, one import copy per <=256 KiB) vs
+// per-message deep-copy exchange, at stream-packet payload sizes where the
+// per-message allocation cost dominates. Results are bit-identical between
+// the two modes; only the import path differs.
+void run_parallel_exchange(benchmark::State& state, net::FabricConfig::ExchangeMode mode) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kNodes = 256;
+  sim::ShardedEngine engine(11, kNodes, {4, workers, sim::SimTime::ms(1)});
+  net::FabricConfig cfg;
+  cfg.exchange = mode;
+  net::NetworkFabric fabric(engine, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(1)),
+                            std::make_unique<net::NoLoss>(), cfg);
+  std::vector<std::uint64_t> received(engine.partitions(), 0);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    std::uint64_t* count = &received[engine.partition_of(i)];
+    fabric.register_node(NodeId{i}, BitRate::unlimited(),
+                         [count](const net::Datagram&) { ++*count; });
+  }
+  const std::vector<std::uint8_t> payload(1316, 0x5a);  // one stream packet
+  for (auto _ : state) {
+    const sim::SimTime start = engine.now();
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      fabric.send(NodeId{i}, NodeId{(i + 64) % kNodes}, net::MsgClass::kServe,
+                  net::BufferRef::copy_of(payload));
+    }
+    engine.run_until(start + sim::SimTime::ms(3));
+  }
+  state.SetItemsProcessed(state.iterations() * kNodes);
+}
+
+void BM_ParallelExchangeBatched(benchmark::State& state) {
+  run_parallel_exchange(state, net::FabricConfig::ExchangeMode::kBatched);
+}
+BENCHMARK(BM_ParallelExchangeBatched)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelExchangeDeepCopy(benchmark::State& state) {
+  run_parallel_exchange(state, net::FabricConfig::ExchangeMode::kDeepCopy);
+}
+BENCHMARK(BM_ParallelExchangeDeepCopy)->Arg(1)->Arg(2)->Arg(4);
+
+// Adaptive epoch widening over a sparse, quiescent-tail event pattern: one
+// event per partition every 50 ms against a 1 ms epoch floor. Widening jumps
+// barrier-to-event; the baseline grinds 50 empty barriers per event. Results
+// (event order, counts) are identical in both modes.
+void run_epoch_widen(benchmark::State& state, bool widen) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  sim::ShardedEngine::Config cfg{4, workers, sim::SimTime::ms(1)};
+  cfg.epoch_widening = widen;
+  sim::ShardedEngine engine(7, 256, std::move(cfg));
+  constexpr int kEventsPerPartition = 10;
+  std::vector<std::uint64_t> fired(engine.partitions(), 0);
+  for (auto _ : state) {
+    const sim::SimTime start = engine.now();
+    for (std::uint32_t p = 0; p < engine.partitions(); ++p) {
+      sim::Simulator& s = engine.sim_of(p);
+      std::uint64_t* count = &fired[p];  // partition-private: no write sharing
+      for (int i = 0; i < kEventsPerPartition; ++i) {
+        s.after_fire_and_forget(sim::SimTime::ms(50 * (i + 1)),
+                                [count] { benchmark::DoNotOptimize(++*count); });
+      }
+    }
+    engine.run_until(start + sim::SimTime::ms(500));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(engine.partitions()) *
+                          kEventsPerPartition);
+}
+
+void BM_EpochWidenOn(benchmark::State& state) { run_epoch_widen(state, true); }
+BENCHMARK(BM_EpochWidenOn)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EpochWidenOff(benchmark::State& state) { run_epoch_widen(state, false); }
+BENCHMARK(BM_EpochWidenOff)->Arg(1)->Arg(2)->Arg(4);
 
 // --------------------------------------------------------------------------
 // WindowRing vs the unordered_map it replaced in the gossip engine.

@@ -13,7 +13,16 @@ values of the two files are also compared pairwise and may deviate by at
 most FRAC (relative to the first file), so a memory regression fails CI
 even though exact RSS equality across runs is never expected.
 
-Usage: compare_bench_metrics.py [--rss-tolerance FRAC] A.json B.json
+Fields that are *layout* metrics rather than simulation results — the
+partition count and the superstep counters derived from it (epochs_run,
+epochs_skipped, xpart_datagrams, xpart_exchange_bytes,
+xpart_datagram_fraction) — are simulation-deterministic for a fixed
+partition layout but legitimately differ across partition counts. They are
+kept by default (so worker-count comparisons also pin the superstep
+schedule) and stripped on demand with repeatable --strip KEY flags when
+comparing runs at different HG_PARTITIONS values.
+
+Usage: compare_bench_metrics.py [--rss-tolerance FRAC] [--strip KEY]... A.json B.json
 Exit 0 when the metric payloads match exactly (and, if requested, RSS is
 within tolerance); exit 1 with a diagnostic otherwise.
 """
@@ -39,11 +48,11 @@ TIMING_KEYS = frozenset(
 )
 
 
-def strip_timing(obj):
+def strip_keys(obj, keys):
     if isinstance(obj, dict):
-        return {k: strip_timing(v) for k, v in obj.items() if k not in TIMING_KEYS}
+        return {k: strip_keys(v, keys) for k, v in obj.items() if k not in keys}
     if isinstance(obj, list):
-        return [strip_timing(v) for v in obj]
+        return [strip_keys(v, keys) for v in obj]
     return obj
 
 
@@ -65,8 +74,9 @@ def load(path):
         return json.load(f)
 
 
-def normalize(payload):
-    return json.dumps(strip_timing(payload), indent=2, sort_keys=True).splitlines(
+def normalize(payload, extra_strip):
+    keys = TIMING_KEYS | extra_strip
+    return json.dumps(strip_keys(payload, keys), indent=2, sort_keys=True).splitlines(
         keepends=True
     )
 
@@ -111,11 +121,23 @@ def main(argv):
             print("--rss-tolerance needs a numeric argument", file=sys.stderr)
             return 2
         del args[i : i + 2]
+    extra_strip = set()
+    while "--strip" in args:
+        i = args.index("--strip")
+        try:
+            extra_strip.add(args[i + 1])
+        except IndexError:
+            print("--strip needs a KEY argument", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
     if len(args) != 2:
-        print(f"usage: {argv[0]} [--rss-tolerance FRAC] A.json B.json", file=sys.stderr)
+        print(
+            f"usage: {argv[0]} [--rss-tolerance FRAC] [--strip KEY]... A.json B.json",
+            file=sys.stderr,
+        )
         return 2
     a_doc, b_doc = load(args[0]), load(args[1])
-    a, b = normalize(a_doc), normalize(b_doc)
+    a, b = normalize(a_doc, extra_strip), normalize(b_doc, extra_strip)
     rc = 0
     if a == b:
         print(f"metrics match: {args[0]} == {args[1]} (timing fields ignored)")

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +57,14 @@ namespace hg {
 // HG_SEEDS/HG_THREADS: garbage or out-of-range terminates with exit code 2.
 [[nodiscard]] inline std::size_t env_workers() {
   return static_cast<std::size_t>(env_int_or("HG_WORKERS", 0, 0, 4096));
+}
+
+// HG_PARTITIONS: logical partition count for the superstep-sharded engine.
+// Unset/0 = auto (the deployment scales it with the population). Results are
+// partition-count-invariant for any count >= 2; the knob exists so CI can
+// prove exactly that byte-for-byte.
+[[nodiscard]] inline std::uint32_t env_partitions() {
+  return static_cast<std::uint32_t>(env_int_or("HG_PARTITIONS", 0, 0, 65536));
 }
 
 // Loud sanity check for the two-level thread budget: `workers` intra-run

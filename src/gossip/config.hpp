@@ -63,6 +63,17 @@ struct GossipConfig {
   // uniform across the deployment — the flag selects the serve framing both
   // when encoding and when decoding.
   bool virtual_payloads = false;
+
+  // Replace the free-running periodic round timer with one-shot rounds armed
+  // on the same phase-shifted grid only while ids are pending. Message-
+  // for-message identical where enabled, but an idle node schedules no
+  // events at all — which is what lets the sharded engine's epoch widening
+  // fast-forward over quiescent stretches. Only valid under the sharded
+  // P >= 2 engine (keyed delivery ordering makes a grid tick run before
+  // same-instant arrivals, matching the periodic timer exactly); the
+  // sequential engine keeps the periodic timer and its bitwise-frozen
+  // event interleaving. The scenario layer sets this, not users.
+  bool park_idle_rounds = false;
 };
 
 }  // namespace hg::gossip

@@ -28,13 +28,41 @@ ThreePhaseGossip::ThreePhaseGossip(sim::Simulator& simulator, net::NetworkFabric
 }
 
 void ThreePhaseGossip::start() {
-  // Random phase: nodes must not propose in lockstep.
+  // Random phase: nodes must not propose in lockstep. Drawn identically in
+  // both round modes so the node's RNG stream is mode-independent.
   const auto phase = sim::SimTime::us(static_cast<std::int64_t>(
       rng_.below(static_cast<std::uint64_t>(config_.period.as_us()))));
+  if (config_.park_idle_rounds) {
+    round_anchor_ = sim_.now() + phase;
+    started_ = true;
+    // Ids delivered before start wait for the first grid instant, exactly
+    // like the periodic timer's first tick.
+    if (!to_propose_.empty()) {
+      round_event_ = sim_.at(round_anchor_, [this]() { gossip_round(); });
+    }
+    return;
+  }
   timer_ = sim_.every(phase, config_.period, [this]() { gossip_round(); });
 }
 
-void ThreePhaseGossip::stop() { timer_.cancel(); }
+void ThreePhaseGossip::stop() {
+  timer_.cancel();
+  round_event_.cancel();
+  started_ = false;
+}
+
+void ThreePhaseGossip::arm_round() {
+  if (round_event_.pending()) return;
+  // Next grid instant strictly after now: keyed delivery ordering runs a
+  // grid tick before any same-instant arrival, so an id delivered exactly on
+  // the grid belongs to the *next* round — same rule the periodic timer
+  // enforces.
+  const std::int64_t period = config_.period.as_us();
+  const std::int64_t now = sim_.now().as_us();
+  const std::int64_t anchor = round_anchor_.as_us();
+  const std::int64_t k = now >= anchor ? (now - anchor) / period + 1 : 0;
+  round_event_ = sim_.at(sim::SimTime::us(anchor + k * period), [this]() { gossip_round(); });
+}
 
 void ThreePhaseGossip::publish(Event event) {
   const EventId id = event.id;
@@ -212,6 +240,7 @@ void ThreePhaseGossip::deliver_event(Event event) {
   }
   delivered_.insert(event);
   proposers_.erase(id);
+  if (config_.park_idle_rounds && started_) arm_round();
   if (deliver_) deliver_(event);
 }
 

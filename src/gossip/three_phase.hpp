@@ -108,6 +108,7 @@ class ThreePhaseGossip {
   }
 
   void gossip_round();
+  void arm_round();
   void gossip_ids(const std::vector<EventId>& ids);
   void on_propose(const ProposeMsg& m);
   void on_request(const RequestMsg& m);
@@ -149,7 +150,10 @@ class ThreePhaseGossip {
   std::vector<EventId> to_propose_;
   RetransmitTracker retransmit_;
 
-  sim::Simulator::PeriodicHandle timer_;
+  sim::Simulator::PeriodicHandle timer_;     // periodic round mode
+  sim::EventHandle round_event_;             // park_idle_rounds one-shot
+  sim::SimTime round_anchor_;                // park mode: grid = anchor + k*period
+  bool started_ = false;
   std::uint32_t newest_window_seen_ = 0;
   std::uint32_t gc_done_below_ = 0;
   std::vector<NodeId> targets_scratch_;

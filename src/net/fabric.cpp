@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/assert.hpp"
 
@@ -9,6 +10,8 @@ namespace hg::net {
 namespace {
 constexpr std::uint64_t kFabricStream = 0x4e455446;    // "NETF"
 constexpr std::uint64_t kTiebreakStream = 0x54424b53;  // "TBKS"
+constexpr std::uint64_t kSenderStream = 0x534e4452;    // "SNDR"
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
 }  // namespace
 
 NetworkFabric::NetworkFabric(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
@@ -40,8 +43,11 @@ NetworkFabric::NetworkFabric(sim::ShardedEngine& engine, std::unique_ptr<Latency
   parts_.reserve(engine.partitions());
   for (std::uint32_t p = 0; p < engine.partitions(); ++p) {
     parts_.emplace_back(&engine.sim_of(p), engine.sim_of(p).make_rng(kFabricStream));
+    parts_.back().blocks.resize(engine.partitions());
+    parts_.back().import_segs.resize(engine.partitions());
   }
   tiebreak_salt_ = engine.make_rng(kTiebreakStream).next();
+  sender_seed_base_ = engine.make_rng(kSenderStream).next();
   engine.set_bridge(this);
 }
 
@@ -52,6 +58,8 @@ NetworkFabric::Shard::Shard() {
   receive.reserve(kShardSize);
   meters.reserve(kShardSize);
   alive.reserve(kShardSize);
+  rngs.reserve(kShardSize);
+  xmit_seq.reserve(kShardSize);
 }
 
 void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn receive) {
@@ -66,6 +74,13 @@ void NetworkFabric::register_node(NodeId id, BitRate upload_capacity, ReceiveFn 
   s.receive.push_back(std::move(receive));
   s.meters.emplace_back();
   s.alive.push_back(1);
+  if (sender_streams()) {
+    // One loss+latency stream per sender node, a pure function of (run seed,
+    // node id): partition count and placement cannot perturb any draw.
+    std::uint64_t state = sender_seed_base_ ^ (kGolden * (id.value() + 1));
+    s.rngs.emplace_back(splitmix64(state));
+    s.xmit_seq.push_back(0);
+  }
   ++node_count_;
 }
 
@@ -93,8 +108,9 @@ void NetworkFabric::on_wire(Datagram&& d) {
   // The datagram has fully left the sender: this is what "used upload
   // bandwidth" means (Fig. 4), loss or not.
   shard(d.src).meters[index_in_shard(d.src)].on_sent(d.cls, d.wire_bytes());
-  if (engine_ == nullptr) {
-    // Sequential path (unchanged — bitwise stability of existing runs).
+  if (!sender_streams()) {
+    // Sequential semantics (also P == 1 sharded: everything is local, the
+    // shared stream draws in event order — bitwise the sequential engine).
     // Loss is evaluated when the datagram leaves the sender.
     if (loss_->lost(d.src, d.dst, rng_)) {
       ++lost_;
@@ -102,7 +118,8 @@ void NetworkFabric::on_wire(Datagram&& d) {
       return;
     }
     const sim::SimTime delay = latency_->sample(d.src, d.dst, rng_);
-    sim_->after_fire_and_forget(delay, [this, d = std::move(d)]() {
+    sim::Simulator& s = sim_ != nullptr ? *sim_ : *parts_[0].sim;
+    s.after_fire_and_forget(delay, [this, d = std::move(d)]() {
       Shard& r = shard(d.dst);
       const std::size_t i = index_in_shard(d.dst);
       if (r.alive[i] == 0) return;  // crashed while in flight
@@ -113,26 +130,72 @@ void NetworkFabric::on_wire(Datagram&& d) {
     return;
   }
 
-  // Sharded path: this runs on the *sender's* partition (the upload link
-  // schedules its transmit completions there), so loss/latency draws come
-  // from the sender partition's private stream in deterministic local order.
+  // Sharded path (P >= 2): this runs on the *sender's* partition (the upload
+  // link schedules its transmit completions there). Loss and latency draw
+  // from the sender node's private stream, and the send sequence number
+  // counts per sender — both functions of the run alone, so every partition
+  // layout produces the same draws and the same delivery keys.
   const std::uint32_t sp = engine_->partition_of(d.src.value());
   Partition& part = parts_[sp];
-  if (loss_->lost(d.src, d.dst, part.rng)) {
+  Shard& ss = shard(d.src);
+  const std::size_t si = index_in_shard(d.src);
+  const std::uint64_t seq = ss.xmit_seq[si]++;
+  if (loss_->lost(d.src, d.dst, ss.rngs[si])) {
     ++part.lost;
-    shard(d.src).meters[index_in_shard(d.src)].on_dropped_in_flight(d.wire_bytes());
+    ss.meters[si].on_dropped_in_flight(d.wire_bytes());
     return;
   }
-  const sim::SimTime delay = latency_->sample(d.src, d.dst, part.rng);
+  const sim::SimTime delay = latency_->sample(d.src, d.dst, ss.rngs[si]);
+  // Filter sends to already-crashed destinations *after* the draws (stream
+  // consumption must not depend on liveness). Crash-stop: a destination dead
+  // now is dead at delivery, so this drop is exactly the delivery-time drop
+  // — no counter or meter ever sees such a datagram. Alive flags only change
+  // at barriers, so the cross-partition read is race-free.
+  if (shard(d.dst).alive[index_in_shard(d.dst)] == 0) {
+    ++part.filtered_dead;
+    return;
+  }
+  const std::uint64_t tb = cross_tiebreak(d.src, d.dst, seq);
   const std::uint32_t dp = engine_->partition_of(d.dst.value());
   if (dp == sp) {
-    part.sim->after_fire_and_forget(delay,
-                                    [this, d = std::move(d)]() { deliver_parallel(d); });
+    ++part.local_datagrams;
+    // Keyed by the same tiebreak an exchange import would carry: same-time
+    // arrivals at one node order identically whether the sender is co-located
+    // or remote.
+    part.sim->after_keyed_fire_and_forget(delay, tb,
+                                          [this, d = std::move(d)]() { deliver_parallel(d); });
     return;
   }
+  ++part.xpart_datagrams;
+  part.xpart_bytes += d.bytes.size();
   const sim::SimTime arrive = part.sim->now() + delay;
-  const std::uint64_t tb = cross_tiebreak(d.src, d.dst, part.outbox.size());
-  part.outbox.push_back(OutMsg{std::move(d), arrive, tb, sp, dp});
+  if (config_.exchange == FabricConfig::ExchangeMode::kBatched) {
+    pack_outgoing(part.blocks[dp], arrive, tb, d);
+    // `d` dies here: the original buffer recycles into this worker's pool
+    // immediately instead of pinning until the barrier.
+  } else {
+    part.outbox.push_back(OutMsg{std::move(d), arrive, tb, sp, dp});
+  }
+}
+
+void NetworkFabric::pack_outgoing(PackBlock& block, sim::SimTime arrive, std::uint64_t tiebreak,
+                                  const Datagram& d) {
+  const std::size_t n = d.bytes.size();
+  if (block.segs.empty() || block.segs.back().used + n > block.segs.back().capacity) {
+    const std::size_t cap = std::max(kPackSegmentBytes, n);
+    detail::BufferCtl* ctl = BufferPool::local().acquire(cap);
+    PackSeg seg;
+    seg.fill = ctl->data();
+    seg.capacity = static_cast<std::uint32_t>(cap);
+    seg.ref = BufferRef::adopt(ctl, static_cast<std::uint32_t>(cap));
+    block.segs.push_back(std::move(seg));
+  }
+  PackSeg& seg = block.segs.back();
+  std::memcpy(seg.fill + seg.used, d.bytes.data(), n);
+  block.recs.push_back(PackRec{arrive, tiebreak, d.src, d.dst,
+                               static_cast<std::uint32_t>(block.segs.size() - 1), seg.used,
+                               static_cast<std::uint32_t>(n), d.phantom_bytes, d.cls});
+  seg.used += static_cast<std::uint32_t>(n);
 }
 
 void NetworkFabric::deliver_parallel(const Datagram& d) {
@@ -146,13 +209,65 @@ void NetworkFabric::deliver_parallel(const Datagram& d) {
 
 void NetworkFabric::begin_epoch(std::uint32_t partition) {
   // Release last epoch's cross-partition datagrams on the owning worker:
-  // their BufferRefs recycle into this thread's pool (refcounts are
-  // non-atomic, so only the allocating thread may drop them while the run
-  // is hot). Importers deep-copied the bytes at the barrier.
-  parts_[partition].outbox.clear();
+  // their buffers recycle into this thread's pool (refcounts are non-atomic,
+  // so only the allocating thread may drop them while the run is hot).
+  // Importers copied the bytes at the barrier.
+  Partition& p = parts_[partition];
+  for (PackBlock& b : p.blocks) {
+    b.recs.clear();
+    b.segs.clear();
+  }
+  p.outbox.clear();
 }
 
 void NetworkFabric::exchange(std::uint32_t partition) {
+  if (config_.exchange == FabricConfig::ExchangeMode::kBatched) {
+    exchange_batched(partition);
+  } else {
+    exchange_deep_copy(partition);
+  }
+}
+
+void NetworkFabric::exchange_batched(std::uint32_t partition) {
+  Partition& dst = parts_[partition];
+  dst.import_recs.clear();
+  // Copy every inbound segment wholesale into this worker's pool — one
+  // memcpy + one pooled allocation per <=256 KiB block, not per message —
+  // then schedule zero-copy slices of the copies. The sender's originals
+  // stay untouched until it releases them in its next begin_epoch.
+  for (std::uint32_t sp = 0; sp < parts_.size(); ++sp) {
+    const PackBlock& block = parts_[sp].blocks[partition];
+    std::vector<BufferRef>& segs = dst.import_segs[sp];
+    segs.clear();
+    for (const PackSeg& s : block.segs) {
+      segs.push_back(BufferRef::copy_of({s.fill, static_cast<std::size_t>(s.used)}));
+    }
+    for (const PackRec& r : block.recs) dst.import_recs.emplace_back(sp, &r);
+  }
+  // Deterministic import order, independent of the worker count: arrival
+  // time, then the seed-derived tiebreak, then source partition, then send
+  // order (record address order within one source's block is send order).
+  std::sort(dst.import_recs.begin(), dst.import_recs.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second->arrive != b.second->arrive) return a.second->arrive < b.second->arrive;
+              if (a.second->tiebreak != b.second->tiebreak) {
+                return a.second->tiebreak < b.second->tiebreak;
+              }
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [sp, r] : dst.import_recs) {
+    Datagram d{r->src, r->dst, r->cls, dst.import_segs[sp][r->seg].slice(r->off, r->len),
+               r->phantom};
+    dst.sim->at_keyed(r->arrive, r->tiebreak,
+                      [this, d = std::move(d)]() { deliver_parallel(d); });
+  }
+  dst.import_recs.clear();
+  // The scheduled slices pin the segment copies; the scratch refs can drop.
+  for (std::vector<BufferRef>& segs : dst.import_segs) segs.clear();
+}
+
+void NetworkFabric::exchange_deep_copy(std::uint32_t partition) {
   Partition& dst = parts_[partition];
   dst.import_scratch.clear();
   for (const Partition& src : parts_) {
@@ -160,9 +275,8 @@ void NetworkFabric::exchange(std::uint32_t partition) {
       if (m.dst_partition == partition) dst.import_scratch.push_back(&m);
     }
   }
-  // Deterministic import order, independent of the worker count: arrival
-  // time, then a seed-derived tiebreak, then source partition, then send
-  // order (address order within one outbox is index order).
+  // Same canonical order as the batched path: arrival, tiebreak, source
+  // partition, send order (address order within one outbox is index order).
   std::sort(dst.import_scratch.begin(), dst.import_scratch.end(),
             [](const OutMsg* a, const OutMsg* b) {
               if (a->arrive != b->arrive) return a->arrive < b->arrive;
@@ -177,7 +291,8 @@ void NetworkFabric::exchange(std::uint32_t partition) {
     // must belong to the destination's thread-local pool.
     Datagram copy{m->d.src, m->d.dst, m->d.cls, BufferRef::copy_of(m->d.bytes.bytes()),
                   m->d.phantom_bytes};
-    dst.sim->at(m->arrive, [this, c = std::move(copy)]() { deliver_parallel(c); });
+    dst.sim->at_keyed(m->arrive, m->tiebreak,
+                      [this, c = std::move(copy)]() { deliver_parallel(c); });
   }
   dst.import_scratch.clear();
 }
@@ -192,6 +307,17 @@ std::uint64_t NetworkFabric::datagrams_delivered() const {
   std::uint64_t total = delivered_;
   for (const Partition& p : parts_) total += p.delivered;
   return total;
+}
+
+NetworkFabric::SuperstepCounters NetworkFabric::superstep_counters() const {
+  SuperstepCounters c;
+  for (const Partition& p : parts_) {
+    c.local_datagrams += p.local_datagrams;
+    c.xpart_datagrams += p.xpart_datagrams;
+    c.filtered_dead += p.filtered_dead;
+    c.xpart_exchange_bytes += p.xpart_bytes;
+  }
+  return c;
 }
 
 void NetworkFabric::kill(NodeId id) {

@@ -16,19 +16,43 @@
 // 100-byte Entry.
 //
 // Two execution modes share this class:
-//  * sequential — one Simulator drives everything (the classic engine);
-//  * sharded — a sim::ShardedEngine drives per-partition Simulators. The
-//    fabric then routes intra-partition sends to the local event queue and
-//    buffers cross-partition sends in per-partition outboxes; as the
-//    engine's PartitionBridge it exchanges those at every epoch barrier,
-//    ordering imports by (arrival, seed-derived tiebreak, source partition,
-//    send order) so results are identical for any worker count. Loss and
-//    latency draw from per-partition RNG streams, and per-partition
-//    lost/delivered counters are summed (deterministically) on read.
+//  * sequential — one Simulator drives everything (the classic engine). A
+//    single-partition ShardedEngine uses this path too: one partition means
+//    every send is local, so the shared-stream sequential semantics apply
+//    unchanged and results are bit-identical to the sequential engine.
+//  * sharded (P >= 2) — a sim::ShardedEngine drives per-partition
+//    Simulators. Loss and latency then draw from *per-sender-node* streams
+//    (seeded from the run seed and the node id alone), send-order tiebreaks
+//    count per sender, and same-time deliveries are keyed by the tiebreak:
+//    every random draw and every event ordering becomes a function of the
+//    run seed and node ids — never of the partition layout — so any
+//    partition count or placement produces bit-identical results.
+//
+//    Intra-partition sends go straight to the local event queue;
+//    cross-partition sends are packed into per-(source, destination)
+//    partition pair blocks: the payload is memcpy'd into a pooled segment
+//    (the original buffer recycles immediately instead of pinning until the
+//    barrier) and a fixed-size record carries (arrival, tiebreak, src, dst,
+//    segment offset, length, phantom bytes, class). As the engine's
+//    PartitionBridge the fabric exchanges blocks at every epoch barrier:
+//    the importer copies each segment wholesale into its own thread-local
+//    pool (one memcpy per <=256 KiB block instead of one allocation per
+//    message), sorts records by (arrival, tiebreak, source partition, send
+//    order), and schedules zero-copy slices of its segment copies.
+//    FabricConfig::ExchangeMode::kDeepCopy retains the per-message deep-copy
+//    import (same determinism machinery, same results) as a benchmark
+//    baseline.
+//
+//    Sends to already-crashed destinations are filtered at the sender —
+//    *after* the loss/latency draws, so stream consumption never depends on
+//    destination liveness (alive flags only change at barriers, making the
+//    concurrent reads safe). Crash-stop means a dead destination can never
+//    deliver, so filtering is invisible to every counter and meter.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -47,7 +71,14 @@ namespace hg::net {
 using ReceiveFn = std::function<void(const Datagram&)>;
 
 struct FabricConfig {
+  // Cross-partition import strategy (sharded mode only; results identical):
+  // kBatched packs pooled segment blocks per partition pair, kDeepCopy
+  // copies every message individually (the pre-pooling baseline, kept for
+  // benchmark comparison).
+  enum class ExchangeMode : std::uint8_t { kBatched, kDeepCopy };
+
   QueueDiscipline discipline = QueueDiscipline::kFifo;
+  ExchangeMode exchange = ExchangeMode::kBatched;
 };
 
 class NetworkFabric final : public sim::PartitionBridge {
@@ -91,6 +122,19 @@ class NetworkFabric final : public sim::PartitionBridge {
   [[nodiscard]] std::uint64_t datagrams_lost() const;
   [[nodiscard]] std::uint64_t datagrams_delivered() const;
 
+  // Sharded-mode traffic accounting (all zero for sequential / P == 1).
+  // Counts are post-loss; `filtered_dead` are sends to already-crashed
+  // destinations dropped at the sender. All are functions of the run seed —
+  // identical at every worker count; the local/cross split (and therefore
+  // the exchange byte volume) depends on the partition layout by definition.
+  struct SuperstepCounters {
+    std::uint64_t local_datagrams = 0;   // delivered within the sender's partition
+    std::uint64_t xpart_datagrams = 0;   // crossed a partition boundary
+    std::uint64_t filtered_dead = 0;     // destination already crashed at send
+    std::uint64_t xpart_exchange_bytes = 0;  // stored payload bytes exchanged
+  };
+  [[nodiscard]] SuperstepCounters superstep_counters() const;
+
   // PartitionBridge (engine-driven; not for direct use).
   void begin_epoch(std::uint32_t partition) override;
   void exchange(std::uint32_t partition) override;
@@ -99,6 +143,11 @@ class NetworkFabric final : public sim::PartitionBridge {
   // a shard is reserved to this capacity up front and never reallocates.
   static constexpr std::size_t kShardSize = 4096;
 
+  // Pooled pack segment size for batched exchange. Matches the pool's top
+  // size class so a full segment recycles through a free list; an oversized
+  // message gets a dedicated segment of its exact length.
+  static constexpr std::size_t kPackSegmentBytes = BufferPool::kMaxClassBytes;
+
  private:
   struct Shard {
     Shard();
@@ -106,9 +155,14 @@ class NetworkFabric final : public sim::PartitionBridge {
     std::vector<ReceiveFn> receive;
     std::vector<TrafficMeter> meters;
     std::vector<std::uint8_t> alive;     // hot: checked on every delivery
+    // Sharded P >= 2 only: per-sender loss/latency stream and send-order
+    // counter. Seeded from (run seed, node id) — partition-layout-invariant.
+    std::vector<Rng> rngs;
+    std::vector<std::uint64_t> xmit_seq;
   };
 
-  // A cross-partition datagram parked until the next epoch barrier.
+  // A cross-partition datagram parked until the next epoch barrier
+  // (kDeepCopy exchange mode).
   struct OutMsg {
     Datagram d;
     sim::SimTime arrive;
@@ -117,17 +171,55 @@ class NetworkFabric final : public sim::PartitionBridge {
     std::uint32_t dst_partition;
   };
 
+  // Batched exchange: one record per packed cross-partition datagram.
+  struct PackRec {
+    sim::SimTime arrive;
+    std::uint64_t tiebreak;
+    NodeId src;
+    NodeId dst;
+    std::uint32_t seg;           // index into the block's segment list
+    std::uint32_t off;           // offset within that segment
+    std::uint32_t len;           // stored payload bytes
+    std::int64_t phantom;
+    MsgClass cls;
+  };
+
+  // A pooled segment being filled by the sender. `fill` aliases the chunk's
+  // payload (sole owner until the barrier seals it); `ref` recycles the
+  // chunk on the sender's thread when the block clears next epoch.
+  struct PackSeg {
+    BufferRef ref;
+    std::uint8_t* fill = nullptr;
+    std::uint32_t capacity = 0;
+    std::uint32_t used = 0;
+  };
+
+  // Everything sender partition sp accumulates for destination partition dp
+  // during one epoch.
+  struct PackBlock {
+    std::vector<PackRec> recs;
+    std::vector<PackSeg> segs;
+  };
+
   // Everything one partition touches while its worker runs an epoch. Loss,
-  // latency jitter, counters, and the outbox are partition-private, so no
+  // latency jitter, counters, and the outboxes are partition-private, so no
   // state is shared between concurrently running partitions.
   struct Partition {
     Partition(sim::Simulator* s, Rng r) : sim(s), rng(std::move(r)) {}
     sim::Simulator* sim;
-    Rng rng;
+    Rng rng;  // P == 1 sequential-semantics stream (unused when P >= 2)
     std::uint64_t lost = 0;
     std::uint64_t delivered = 0;
-    std::vector<OutMsg> outbox;
+    std::uint64_t local_datagrams = 0;
+    std::uint64_t xpart_datagrams = 0;
+    std::uint64_t filtered_dead = 0;
+    std::uint64_t xpart_bytes = 0;
+    std::vector<PackBlock> blocks;  // indexed by destination partition
+    std::vector<OutMsg> outbox;     // kDeepCopy mode
+    // Exchange-side scratch (owned by this partition's worker).
     std::vector<const OutMsg*> import_scratch;
+    std::vector<std::pair<std::uint32_t, const PackRec*>> import_recs;  // (src partition, rec)
+    std::vector<std::vector<BufferRef>> import_segs;  // per source partition
   };
 
   [[nodiscard]] Shard& shard(NodeId id) {
@@ -145,9 +237,18 @@ class NetworkFabric final : public sim::PartitionBridge {
   [[nodiscard]] sim::Simulator& sim_for(NodeId id) {
     return engine_ != nullptr ? engine_->sim_of_node(id.value()) : *sim_;
   }
+  // Per-sender streams are the P >= 2 determinism mechanism; with one
+  // partition the shared-stream sequential semantics apply.
+  [[nodiscard]] bool sender_streams() const {
+    return engine_ != nullptr && parts_.size() > 1;
+  }
 
   void on_wire(Datagram&& d);
   void deliver_parallel(const Datagram& d);
+  void pack_outgoing(PackBlock& block, sim::SimTime arrive, std::uint64_t tiebreak,
+                     const Datagram& d);
+  void exchange_batched(std::uint32_t partition);
+  void exchange_deep_copy(std::uint32_t partition);
   [[nodiscard]] std::uint64_t cross_tiebreak(NodeId src, NodeId dst,
                                              std::uint64_t seq) const;
 
@@ -158,11 +259,12 @@ class NetworkFabric final : public sim::PartitionBridge {
   FabricConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t node_count_ = 0;
-  Rng rng_;                // sequential mode: the single loss+latency stream
-  std::uint64_t lost_ = 0;       // sequential mode counters
+  Rng rng_;                // sequential / P == 1: the single loss+latency stream
+  std::uint64_t lost_ = 0;       // sequential / P == 1 counters
   std::uint64_t delivered_ = 0;
   std::vector<Partition> parts_;  // sharded mode
   std::uint64_t tiebreak_salt_ = 0;
+  std::uint64_t sender_seed_base_ = 0;  // roots the per-sender streams
 };
 
 }  // namespace hg::net

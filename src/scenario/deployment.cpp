@@ -54,6 +54,12 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
     loss = std::make_unique<net::NoLoss>();
   }
 
+  // Population assignment before engine construction: the clustered
+  // placement needs per-node capabilities, and the assignment stream
+  // (Rng(seed).fork) is engine-independent, so hoisting it changes no draw.
+  Rng assign_rng = Rng(seed_).fork(kAssignStream);
+  const auto assignment = population_.distribution.assign(population_.node_count, assign_rng);
+
   if (parallel_.workers == 0) {
     d->sim_ = std::make_unique<sim::Simulator>(seed_);
   } else {
@@ -72,8 +78,36 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
           parts);
       parts = 1;
     }
+    std::vector<std::uint32_t> placement;
+    if (parallel_.placement == Placement::kClustered && parts > 1 && total >= parts) {
+      // Capability-sorted snake deal (see Placement::kClustered). The source
+      // (node 0) ranks by its own capability like everyone else.
+      std::vector<std::uint32_t> order(total);
+      for (std::uint32_t i = 0; i < total; ++i) order[i] = i;
+      auto capability_of = [&](std::uint32_t id) {
+        return id == 0 ? population_.source_capability : assignment[id - 1].capability;
+      };
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         const BitRate ca = capability_of(a);
+                         const BitRate cb = capability_of(b);
+                         if (ca.is_unlimited() != cb.is_unlimited()) return ca.is_unlimited();
+                         if (ca.bits_per_sec() != cb.bits_per_sec()) {
+                           return ca.bits_per_sec() > cb.bits_per_sec();
+                         }
+                         return a < b;  // id-stable ties
+                       });
+      placement.resize(total);
+      for (std::uint32_t rank = 0; rank < total; ++rank) {
+        const std::uint32_t lap = rank / parts;
+        const std::uint32_t step = rank % parts;
+        placement[order[rank]] = (lap % 2 == 0) ? step : parts - 1 - step;
+      }
+    }
     d->engine_ = std::make_unique<sim::ShardedEngine>(
-        seed_, total, sim::ShardedEngine::Config{parts, parallel_.workers, epoch});
+        seed_, total,
+        sim::ShardedEngine::Config{parts, parallel_.workers, epoch, std::move(placement),
+                                   parallel_.epoch_widening});
   }
 
   if (d->engine_ != nullptr) {
@@ -110,8 +144,18 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
     };
   }
 
+  // Per-node template; park idle gossip rounds under the sharded P >= 2
+  // engine (message-identical there — see GossipConfig::park_idle_rounds —
+  // and quiescent nodes are what epoch widening fast-forwards over). The
+  // sequential and single-partition engines keep the periodic timer and its
+  // bitwise-frozen interleaving.
+  core::NodeConfig node_template = population_.node;
+  if (d->engine_ != nullptr && d->engine_->partitions() > 1) {
+    node_template.gossip.park_idle_rounds = true;
+  }
+
   // --- source (node 0) ----------------------------------------------------
-  core::NodeConfig source_cfg = population_.node;
+  core::NodeConfig source_cfg = node_template;
   source_cfg.mode = core::Mode::kStandard;  // the broadcaster does not adapt
   source_cfg.capability = population_.source_capability;
   d->source_node_ =
@@ -119,9 +163,7 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
   d->source_node_->attach(population_.source_capability);
 
   // --- receivers ----------------------------------------------------------
-  Rng assign_rng = Rng(seed_).fork(kAssignStream);
   Rng noise_rng = Rng(seed_).fork(kNoiseStream);
-  const auto assignment = population_.distribution.assign(population_.node_count, assign_rng);
 
   d->receivers_.reserve(population_.node_count);
   for (std::size_t i = 0; i < population_.node_count; ++i) {
@@ -137,7 +179,7 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
       r.info.actual_capacity = r.info.capability * noise_rng.uniform(0.3, 0.7);
     }
 
-    core::NodeConfig node_cfg = population_.node;
+    core::NodeConfig node_cfg = node_template;
     node_cfg.capability = r.info.capability;
     r.node = make_node(sim_of(id), *d->fabric_, *d->directory_, id, node_cfg);
     r.player = std::make_unique<stream::Player>(

@@ -71,16 +71,39 @@ struct ChurnPlan {
   membership::DetectionConfig detection;  // failure-detection latency
 };
 
+// Node -> partition placement policy. Per-node random streams are functions
+// of the run seed and the node id alone, so placement can never change
+// results — it only shifts where work and cross-partition traffic land.
+enum class Placement : std::uint8_t {
+  kContiguous = 0,  // balanced blocks by node id (the default)
+  // Capability-aware snake deal: nodes sorted by declared capability
+  // (descending, id-stable) are dealt 0..P-1, P-1..0, ... so every partition
+  // carries a near-equal share of the upload-capability mass. Under HEAP's
+  // capability-proportional fanout the busiest senders dominate epoch wall
+  // clock; contiguous blocks can concentrate them (class assignment is
+  // id-correlated in sorted populations), making the hottest partition the
+  // barrier straggler. Deterministic: derived from the seed-assigned
+  // capabilities only.
+  kClustered = 1,
+};
+
 struct ParallelPlan {
   // 0 = classic sequential event loop (the default; bitwise-identical to all
   // previous releases). >= 1 = superstep-sharded engine driven by this many
-  // worker threads. Results of a sharded run depend only on seed and
-  // partition count — every workers >= 1 value yields identical bytes.
+  // worker threads. Results of a sharded run depend only on the seed —
+  // every workers >= 1 value and every partitions >= 2 count yields
+  // identical bytes (partitions == 1 matches the sequential engine instead).
   std::size_t workers = 0;
   // Logical partition count; 0 = auto (scales with the population, capped at
   // 16). Fixed by configuration and never derived from `workers`, so the
   // thread count can change between machines without changing results.
   std::uint32_t partitions = 0;
+  // Recorded in the plan: placement is part of the run description even
+  // though it cannot affect results (see Placement).
+  Placement placement = Placement::kContiguous;
+  // Adaptive epoch widening (results identical on/off; off is the benchmark
+  // baseline that grinds every min-latency epoch).
+  bool epoch_widening = true;
 };
 
 struct ReceiverInfo {

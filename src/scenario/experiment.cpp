@@ -45,7 +45,9 @@ StreamPlan ExperimentConfig::stream_plan() const {
 
 ChurnPlan ExperimentConfig::churn_plan() const { return ChurnPlan{churn, detection}; }
 
-ParallelPlan ExperimentConfig::parallel_plan() const { return ParallelPlan{workers, partitions}; }
+ParallelPlan ExperimentConfig::parallel_plan() const {
+  return ParallelPlan{workers, partitions, placement, epoch_widening};
+}
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
 

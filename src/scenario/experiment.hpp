@@ -68,9 +68,12 @@ struct ExperimentConfig {
 
   // Intra-run parallelism (see ParallelPlan): workers == 0 runs the classic
   // sequential loop; workers >= 1 runs the superstep-sharded engine, whose
-  // results depend only on seed and partitions — never on workers.
+  // results depend only on the seed — never on workers, the partition
+  // count (any >= 2), or the placement policy.
   std::size_t workers = 0;
   std::uint32_t partitions = 0;  // 0 = auto
+  Placement placement = Placement::kContiguous;
+  bool epoch_widening = true;
 
   // Optional override for the protocol stack each node runs (mixed
   // populations, instrumented stacks). Null: preset selected by `mode`.

@@ -64,7 +64,22 @@ class EventQueue {
   template <class F>
   EventHandle schedule(SimTime at, F&& fn) {
     const std::uint32_t slot = alloc_slot(std::forward<F>(fn));
-    push_entry(at, slot);
+    push_entry(at, 0, slot);
+    return EventHandle{this, slot, slots_[slot].gen};
+  }
+
+  // Like schedule, but with an explicit secondary ordering key: events at
+  // equal times run in (key2, scheduling order). The sharded engine keys
+  // datagram deliveries by their seed-derived exchange tiebreak so that
+  // same-microsecond arrivals at one node order identically whether they
+  // were scheduled locally during an epoch or imported at a barrier —
+  // ordering becomes a function of the seed, not of the partition layout.
+  // Every plain schedule uses key2 == 0, so the sequential engine's
+  // (time, scheduling order) contract is bit-for-bit unchanged.
+  template <class F>
+  EventHandle schedule_keyed(SimTime at, std::uint64_t key2, F&& fn) {
+    const std::uint32_t slot = alloc_slot(std::forward<F>(fn));
+    push_entry(at, key2, slot);
     return EventHandle{this, slot, slots_[slot].gen};
   }
 
@@ -73,7 +88,12 @@ class EventQueue {
   // not materializing the handle.
   template <class F>
   void schedule_fire_and_forget(SimTime at, F&& fn) {
-    push_entry(at, alloc_slot(std::forward<F>(fn)));
+    push_entry(at, 0, alloc_slot(std::forward<F>(fn)));
+  }
+
+  template <class F>
+  void schedule_keyed_fire_and_forget(SimTime at, std::uint64_t key2, F&& fn) {
+    push_entry(at, key2, alloc_slot(std::forward<F>(fn)));
   }
 
   // Pops and runs the earliest live event; returns false when empty.
@@ -110,12 +130,14 @@ class EventQueue {
   // POD heap record; liveness = generation match against the slot.
   struct Entry {
     SimTime at;
+    std::uint64_t key2;  // secondary order at equal times; 0 for plain events
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
 
     bool operator>(const Entry& o) const {
       if (at != o.at) return at > o.at;
+      if (key2 != o.key2) return key2 > o.key2;
       return seq > o.seq;
     }
   };
@@ -144,8 +166,8 @@ class EventQueue {
   // slot would need 2^32 reuses for a stale handle to alias a new event.)
   void free_slot(std::uint32_t i);
 
-  void push_entry(SimTime at, std::uint32_t slot) {
-    heap_.push_back(Entry{at, next_seq_++, slot, slots_[slot].gen});
+  void push_entry(SimTime at, std::uint64_t key2, std::uint32_t slot) {
+    heap_.push_back(Entry{at, key2, next_seq_++, slot, slots_[slot].gen});
     sift_up(heap_.size() - 1);
   }
 

@@ -1,6 +1,10 @@
 #include "sim/sharded_engine.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/assert.hpp"
+#include "common/log.hpp"
 
 namespace hg::sim {
 
@@ -8,20 +12,39 @@ ShardedEngine::ShardedEngine(std::uint64_t seed, std::size_t node_count, Config 
     : node_count_(node_count),
       partitions_(config.partitions == 0 ? 1 : config.partitions),
       epoch_(config.epoch),
+      widen_(config.epoch_widening),
       root_rng_(seed),
       pool_(config.workers == 0 ? 1 : config.workers) {
   if (node_count_ > 0 && partitions_ > node_count_) {
-    partitions_ = static_cast<std::uint32_t>(node_count_);
+    // More partitions than nodes is a degenerate plan (empty shards would
+    // still pay every barrier). Collapse to the single-partition delegation
+    // shell, which is bit-identical to the sequential engine.
+    HG_LOG_WARN("partitions (%u) exceed node count (%zu); clamping to 1",
+                partitions_, node_count_);
+    partitions_ = 1;
   }
   HG_ASSERT_MSG(partitions_ == 1 || epoch_ > SimTime::zero(),
                 "multiple partitions require a positive epoch width (the minimum "
                 "cross-partition latency)");
+  if (partitions_ > 1 && !config.placement.empty()) {
+    HG_ASSERT_MSG(config.placement.size() == node_count_,
+                  "placement map must cover every node");
+    std::vector<std::size_t> sizes(partitions_, 0);
+    for (std::uint32_t p : config.placement) {
+      HG_ASSERT_MSG(p < partitions_, "placement entry names a nonexistent partition");
+      ++sizes[p];
+    }
+    for (std::uint32_t p = 0; p < partitions_; ++p) {
+      HG_ASSERT_MSG(sizes[p] > 0, "placement map leaves a partition empty");
+    }
+    placement_ = std::move(config.placement);
+  }
   partition_sims_.reserve(partitions_);
   for (std::uint32_t p = 0; p < partitions_; ++p) {
-    // Distinct per-partition seed, mixed so neighbouring p never produce
-    // correlated xoshiro states; partition 0 must not alias the root seed.
-    std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * (p + 1));
-    partition_sims_.push_back(std::make_unique<Simulator>(splitmix64(state)));
+    // Every partition runs off the *run* seed: component streams fork from it
+    // salted by node id (or stream tag), never by partition, so the partition
+    // layout cannot perturb any random draw.
+    partition_sims_.push_back(std::make_unique<Simulator>(seed));
   }
   block_base_ = partitions_ > 0 ? node_count_ / partitions_ : 0;
   block_rem_ = partitions_ > 0 ? node_count_ % partitions_ : 0;
@@ -29,6 +52,7 @@ ShardedEngine::ShardedEngine(std::uint64_t seed, std::size_t node_count, Config 
 
 std::uint32_t ShardedEngine::partition_of(std::uint32_t node_index) const {
   HG_ASSERT(node_index < node_count_);
+  if (!placement_.empty()) return placement_[node_index];
   // The first block_rem_ partitions hold (base + 1) nodes, the rest base.
   const std::size_t i = node_index;
   const std::size_t wide = block_rem_ * (block_base_ + 1);
@@ -37,6 +61,13 @@ std::uint32_t ShardedEngine::partition_of(std::uint32_t node_index) const {
 }
 
 void ShardedEngine::schedule_control(SimTime when, std::function<void()> fn) {
+  if (partitions_ == 1) {
+    // Delegation shell: control tasks are ordinary events, interleaved with
+    // protocol events purely by (time, scheduling order) — the sequential
+    // discipline.
+    partition_sims_[0]->at(when, std::move(fn));
+    return;
+  }
   HG_ASSERT_MSG(when >= now_, "cannot schedule a control task into the past");
   control_.emplace(when, std::move(fn));
 }
@@ -50,19 +81,54 @@ void ShardedEngine::run_controls_due() {
   }
 }
 
-SimTime ShardedEngine::next_barrier(SimTime until) const {
-  SimTime next = until;
-  if (epoch_ > SimTime::zero() && now_ + epoch_ < next) next = now_ + epoch_;
-  if (!control_.empty() && control_.begin()->first < next) next = control_.begin()->first;
-  return next;
+void ShardedEngine::assert_widen_safe(SimTime target) const {
+  HG_ASSERT_MSG(target >= now_, "widened barrier target lies in the past");
+  HG_ASSERT_MSG(control_.empty() || control_.begin()->first >= target,
+                "epoch widening must not jump past a scheduled control task");
+}
+
+SimTime ShardedEngine::widen_target(SimTime t_epoch, SimTime t_cap) const {
+  // Earliest pending event across all partitions. Computed at the barrier,
+  // after the previous exchange: every in-flight datagram is already queued
+  // at its destination, so the horizon is a function of the run state alone —
+  // identical at every worker and partition count.
+  std::optional<SimTime> horizon;
+  for (const auto& s : partition_sims_) {
+    const auto t = s->next_event_time();
+    if (t.has_value() && (!horizon.has_value() || *t < *horizon)) horizon = *t;
+  }
+  if (!horizon.has_value()) return t_cap;   // fully quiescent: next control/bound
+  if (*horizon < t_epoch) return t_epoch;   // work inside the epoch: no widening
+  return std::min(*horizon, t_cap);
+}
+
+SimTime ShardedEngine::next_barrier(SimTime until) {
+  // Control tasks and the run bound cap every barrier, widened or not.
+  SimTime cap = until;
+  if (!control_.empty() && control_.begin()->first < cap) cap = control_.begin()->first;
+  if (epoch_ <= SimTime::zero() || now_ + epoch_ >= cap) return cap;
+  const SimTime t_epoch = now_ + epoch_;
+  if (!widen_) return t_epoch;
+  const SimTime target = widen_target(t_epoch, cap);
+  if (target > t_epoch) {
+    assert_widen_safe(target);
+    // Count the empty min-latency epochs this jump replaces. ceil((target -
+    // now) / epoch) barriers would have run; this one counts as run below.
+    const std::int64_t span = (target - now_).as_us();
+    const std::int64_t w = epoch_.as_us();
+    epochs_skipped_ += static_cast<std::uint64_t>((span + w - 1) / w - 1);
+  }
+  return target;
 }
 
 std::uint64_t ShardedEngine::run_until(SimTime until) {
+  if (partitions_ == 1) return partition_sims_[0]->run_until(until);
   HG_ASSERT_MSG(until >= now_, "cannot run into the past");
   const std::uint64_t before = events_executed();
   run_controls_due();  // tasks armed at exactly now_ (e.g. time zero)
   while (now_ < until) {
     const SimTime next = next_barrier(until);
+    ++epochs_run_;
     // Epoch phase: each partition first releases the messages it handed out
     // last epoch, then drains its local events strictly before the barrier.
     // Events *at* the barrier time wait for control tasks carrying the same

@@ -1,20 +1,38 @@
 // Superstep-sharded execution of one simulation (Pregel-style).
 //
-// Nodes are partitioned into P contiguous blocks, each owned by its own
-// Simulator (clock + event queue + RNG root). The run advances in epochs no
-// wider than the minimum cross-partition network latency: every partition
-// drains its local events for the epoch in parallel, cross-partition
-// messages accumulate in outboxes, and a barrier exchanges and deterministically
-// orders them before the next epoch — a message sent during epoch k can only
-// arrive at or after the start of epoch k+1, so no partition ever sees an
-// event from its own future.
+// Nodes are partitioned into P blocks — contiguous by default, or an explicit
+// placement map recorded in the run plan — each owned by its own Simulator
+// (clock + event queue). The run advances in epochs no wider than the minimum
+// cross-partition network latency: every partition drains its local events
+// for the epoch in parallel, cross-partition messages accumulate in
+// outboxes, and a barrier exchanges and deterministically orders them before
+// the next epoch — a message sent during epoch k can only arrive at or after
+// the start of epoch k+1, so no partition ever sees an event from its own
+// future.
 //
 // Determinism is by construction, not by scheduling discipline: P is fixed
 // by configuration (never derived from the worker count), each partition's
 // event order is sequentially deterministic, and the exchange orders imports
 // by (arrival time, seed-derived tiebreak, source partition, send index).
 // Workers only map partitions onto threads, so any worker count >= 1
-// produces bit-identical results.
+// produces bit-identical results. Every partition Simulator is seeded with
+// the *run* seed: a node's random streams are functions of its id alone, so
+// the partition layout (count or placement) cannot change results either —
+// any P >= 2 produces bit-identical output for a given run seed.
+//
+// P == 1 is a pure delegation shell around one Simulator: control tasks
+// become plain events and run_until forwards directly, so a single-partition
+// engine is bit-identical to the sequential engine by construction.
+//
+// Adaptive epoch widening: before each epoch the barrier polls every
+// partition's next-event horizon. When the earliest pending event lies past
+// the epoch end, the barrier fast-forwards straight to it (capped by the
+// next control task and the run bound) instead of grinding through empty
+// min-latency epochs — this collapses the quiescent tails of churn and
+// startup phases. The widened jump never crosses a scheduled control task,
+// and since it only happens when no events exist before the target, no
+// partition can emit a datagram inside the skipped span: the epoch-width
+// arrival invariant is untouched.
 //
 // Cross-partition side effects that are *not* datagrams (churn kills, failure
 // detection drains, metric snapshots) run as control tasks: single-threaded
@@ -58,20 +76,37 @@ class ShardedEngine {
     // message latency; zero means "no datagram traffic is epoch-bound" (only
     // valid with partitions == 1, where everything is local).
     SimTime epoch = SimTime::zero();
+    // Explicit node -> partition map (size node_count, every partition
+    // non-empty). Empty means balanced contiguous blocks. Placement is part
+    // of the run plan, not a tuning knob discovered at runtime: with
+    // run-seeded partitions it cannot change results, only the volume of
+    // cross-partition traffic.
+    std::vector<std::uint32_t> placement;
+    // Adaptive epoch widening (see file comment). On by default; results are
+    // identical either way — only the barrier count changes.
+    bool epoch_widening = true;
   };
 
   // `seed` roots the run exactly like a sequential Simulator(seed):
-  // make_rng(tag) returns the same stream either way. `node_count` fixes the
-  // contiguous partition blocks.
+  // make_rng(tag) returns the same stream either way, and every partition
+  // Simulator is seeded with `seed` itself so node-id-salted component
+  // streams are independent of the partition layout. `node_count` fixes the
+  // partition blocks. Degenerate requests (more partitions than nodes) clamp
+  // to a single partition — the delegation shell — rather than to a sea of
+  // near-empty shards whose barrier cost would dwarf the run.
   ShardedEngine(std::uint64_t seed, std::size_t node_count, Config config);
 
   [[nodiscard]] std::uint32_t partitions() const { return partitions_; }
   [[nodiscard]] std::size_t workers() const { return pool_.workers(); }
   [[nodiscard]] SimTime epoch() const { return epoch_; }
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const {
+    return partitions_ == 1 ? partition_sims_[0]->now() : now_;
+  }
   [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] bool epoch_widening() const { return widen_; }
 
-  // Balanced contiguous blocks: partition p owns nodes [lo, hi).
+  // Partition owning a node: placement map if configured, else balanced
+  // contiguous blocks (partition p owns nodes [lo, hi)).
   [[nodiscard]] std::uint32_t partition_of(std::uint32_t node_index) const;
   [[nodiscard]] Simulator& sim_of(std::uint32_t partition) {
     return *partition_sims_[partition];
@@ -92,7 +127,8 @@ class ShardedEngine {
   // Runs `fn` single-threaded at exactly `when` (>= now), between epochs and
   // before local events at the same timestamp. Tasks at equal times run in
   // scheduling order; a task may schedule further control tasks (including at
-  // the current time).
+  // the current time). With one partition the task becomes a plain event on
+  // the underlying Simulator (the sequential interleaving).
   void schedule_control(SimTime when, std::function<void()> fn);
 
   // Advances every partition to `until` in lockstepped epochs; events
@@ -103,13 +139,28 @@ class ShardedEngine {
   // Total events executed across all partitions.
   [[nodiscard]] std::uint64_t events_executed() const;
 
+  // Superstep accounting: barrier intervals actually run, and the empty
+  // min-latency epochs that adaptive widening skipped over. Both are
+  // functions of the seed and the run plan only — identical at every worker
+  // count, and (for P >= 2) at every partition count.
+  [[nodiscard]] std::uint64_t epochs_run() const { return epochs_run_; }
+  [[nodiscard]] std::uint64_t epochs_skipped() const { return epochs_skipped_; }
+
+  // Guard seam for epoch widening: a widened barrier target must never jump
+  // past a scheduled control task (churn kills, detector drains, metric
+  // snapshots would silently run late). run_until routes every widened jump
+  // through this check; exposed so tests can exercise the guard directly.
+  void assert_widen_safe(SimTime target) const;
+
  private:
-  [[nodiscard]] SimTime next_barrier(SimTime until) const;
+  [[nodiscard]] SimTime next_barrier(SimTime until);
+  [[nodiscard]] SimTime widen_target(SimTime t_epoch, SimTime t_cap) const;
   void run_controls_due();
 
   std::size_t node_count_;
   std::uint32_t partitions_;
   SimTime epoch_;
+  bool widen_ = true;
   Rng root_rng_;
   std::vector<std::unique_ptr<Simulator>> partition_sims_;
   WorkerPool pool_;
@@ -118,8 +169,11 @@ class ShardedEngine {
   // Ordered; equal keys preserve insertion order (multimap inserts at the
   // upper bound of the equal range).
   std::multimap<SimTime, std::function<void()>> control_;
-  std::size_t block_base_ = 0;  // nodes per partition block
-  std::size_t block_rem_ = 0;   // first block_rem_ partitions hold one extra
+  std::vector<std::uint32_t> placement_;  // empty = contiguous blocks
+  std::size_t block_base_ = 0;            // nodes per partition block
+  std::size_t block_rem_ = 0;             // first block_rem_ partitions hold one extra
+  std::uint64_t epochs_run_ = 0;
+  std::uint64_t epochs_skipped_ = 0;
 };
 
 }  // namespace hg::sim

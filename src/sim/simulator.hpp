@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -43,6 +44,30 @@ class Simulator {
   void after_fire_and_forget(SimTime delay, F&& fn) {
     HG_ASSERT(delay >= SimTime::zero());
     queue_.schedule_fire_and_forget(now_ + delay, std::forward<F>(fn));
+  }
+
+  // Keyed scheduling (see EventQueue::schedule_keyed): events at equal times
+  // order by key2 before scheduling order. The sharded fabric keys datagram
+  // deliveries by their seed-derived tiebreak so same-time arrivals at one
+  // node order identically at every partition count.
+  template <class F>
+  EventHandle at_keyed(SimTime when, std::uint64_t key2, F&& fn) {
+    HG_ASSERT_MSG(when >= now_, "cannot schedule into the past");
+    return queue_.schedule_keyed(when, key2, std::forward<F>(fn));
+  }
+
+  template <class F>
+  void after_keyed_fire_and_forget(SimTime delay, std::uint64_t key2, F&& fn) {
+    HG_ASSERT(delay >= SimTime::zero());
+    queue_.schedule_keyed_fire_and_forget(now_ + delay, key2, std::forward<F>(fn));
+  }
+
+  // Timestamp of the earliest live pending event, or nullopt when the queue
+  // is (or prunes to) empty. The sharded engine polls this at barriers to
+  // fast-forward over epochs no partition has work for.
+  [[nodiscard]] std::optional<SimTime> next_event_time() {
+    if (queue_.prune_and_empty()) return std::nullopt;
+    return queue_.next_time();
   }
 
   // Repeats `fn` every `period` until the returned handle is cancelled or the

@@ -346,6 +346,57 @@ TEST(ThreePhase, CancellingManyWindowsDoesNotAllocate) {
   EXPECT_EQ(s.nodes[1]->stats().requests_sent, 0u);
 }
 
+TEST(ThreePhase, ParkedRoundsQuiesceWhenIdle) {
+  // park_idle_rounds: no pending proposals -> no round timer at all. This is
+  // what lets a partition's event queue drain to empty so the sharded
+  // engine's epoch widening can fast-forward it.
+  GossipConfig parked;
+  parked.park_idle_rounds = true;
+  Swarm s(10, parked);
+  EXPECT_EQ(s.sim.run_until(sim::SimTime::sec(30)), 0u);
+  EXPECT_FALSE(s.sim.next_event_time().has_value());
+  // A late publish re-arms rounds on the original phase grid and still
+  // disseminates to everyone.
+  s.nodes[0]->publish(s.make_event(0, 0));
+  s.sim.run_until(sim::SimTime::sec(40));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.delivered[i].size(), 1u) << "node " << i;
+  }
+  EXPECT_FALSE(s.sim.next_event_time().has_value());  // ...and re-parks after
+}
+
+TEST(ThreePhase, ParkedRoundsMatchPeriodicTimerMessageForMessage) {
+  // The parked schedule is an optimization, not a behaviour change: with the
+  // same seed, every propose/request/serve and every delivery must be
+  // identical to the periodic-timer schedule.
+  GossipConfig periodic;
+  GossipConfig parked;
+  parked.park_idle_rounds = true;
+  Swarm a(20, periodic, /*fanout=*/7.0);
+  Swarm b(20, parked, /*fanout=*/7.0);
+  for (std::uint16_t k = 0; k < 5; ++k) {
+    a.nodes[0]->publish(a.make_event(0, k));
+    b.nodes[0]->publish(b.make_event(0, k));
+  }
+  // Publish a second batch later so rounds park and re-arm in between.
+  a.sim.run_until(sim::SimTime::sec(15));
+  b.sim.run_until(sim::SimTime::sec(15));
+  a.nodes[7]->publish(a.make_event(1, 0));
+  b.nodes[7]->publish(b.make_event(1, 0));
+  a.sim.run_until(sim::SimTime::sec(30));
+  b.sim.run_until(sim::SimTime::sec(30));
+  EXPECT_EQ(a.fabric.datagrams_delivered(), b.fabric.datagrams_delivered());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.nodes[i]->stats().proposes_sent, b.nodes[i]->stats().proposes_sent) << i;
+    EXPECT_EQ(a.nodes[i]->stats().requests_sent, b.nodes[i]->stats().requests_sent) << i;
+    EXPECT_EQ(a.nodes[i]->stats().serves_sent, b.nodes[i]->stats().serves_sent) << i;
+    ASSERT_EQ(a.delivered[i].size(), b.delivered[i].size()) << i;
+    for (std::size_t k = 0; k < a.delivered[i].size(); ++k) {
+      EXPECT_EQ(a.delivered[i][k].id, b.delivered[i][k].id) << i;
+    }
+  }
+}
+
 TEST(ThreePhase, StatsAreConsistent) {
   Swarm s(20, GossipConfig{}, /*fanout=*/7.0);
   for (std::uint16_t k = 0; k < 5; ++k) s.nodes[0]->publish(s.make_event(0, k));

@@ -4,6 +4,7 @@
 // HG_WORKERS vary freely across machines without bending any paper curve.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -66,6 +67,71 @@ TEST(ParallelDeterminism, MetricsAreByteIdenticalAcrossWorkerCounts) {
 
 TEST(ParallelDeterminism, RepeatedRunsAreByteIdentical) {
   EXPECT_EQ(run_digest(2), run_digest(2));
+}
+
+TEST(ParallelDeterminism, MetricsInvariantAcrossPartitionCountsAndPlacement) {
+  // The partition layout — count, single-node extremes, capability-clustered
+  // placement — may only move work between shards, never change a result.
+  auto digest_with = [](std::uint32_t partitions, Placement placement) {
+    ExperimentConfig cfg = parallel_cfg(2);
+    cfg.partitions = partitions;
+    cfg.placement = placement;
+    Experiment e(cfg);
+    e.run();
+    return digest(e);
+  };
+  const std::string base = digest_with(4, Placement::kContiguous);
+  EXPECT_NE(base.find("delivered="), std::string::npos);
+  EXPECT_EQ(digest_with(2, Placement::kContiguous), base) << "partitions=2";
+  EXPECT_EQ(digest_with(5, Placement::kClustered), base) << "partitions=5 clustered";
+  EXPECT_EQ(digest_with(4, Placement::kClustered), base) << "clustered placement";
+  // 97 partitions for 96 receivers + source: every partition holds exactly
+  // one node, every datagram crosses the exchange.
+  EXPECT_EQ(digest_with(97, Placement::kContiguous), base) << "single-node partitions";
+}
+
+TEST(ParallelDeterminism, DegeneratePartitioningMatchesSequentialEngine) {
+  // More partitions than nodes clamps to a single partition, and a
+  // single-partition "parallel" run is the sequential engine behind a
+  // barrier facade — it must be *byte-identical* to workers=0, not merely
+  // deterministic.
+  ExperimentConfig cfg = parallel_cfg(2);
+  cfg.partitions = 500;  // > 97 nodes -> clamped to 1
+  Experiment par(cfg);
+  par.run();
+
+  ExperimentConfig seq_cfg = parallel_cfg(0);
+  seq_cfg.partitions = 0;
+  Experiment seq(seq_cfg);
+  seq.run();
+  EXPECT_EQ(digest(par), digest(seq));
+}
+
+TEST(ParallelDeterminism, EpochWideningPreservesChurnResults) {
+  // Satellite guard for the widening rule: a churn window keeps control
+  // tasks (crashes, detection notices) and retransmit timers in flight; the
+  // widened run must execute every one of them at the same instant as the
+  // un-widened run — digest equality includes the event count.
+  auto digest_widen = [](bool widen) {
+    ExperimentConfig cfg = parallel_cfg(2);
+    cfg.epoch_widening = widen;
+    cfg.churn.push_back(ChurnEvent{sim::SimTime::sec(6.0), 0.3});
+    Experiment e(cfg);
+    e.run();
+    std::string out = digest(e);
+    out += "epochs_run=" + std::to_string(e.deployment().engine().epochs_run());
+    return out;
+  };
+  const std::string widened = digest_widen(true);
+  const std::string literal = digest_widen(false);
+  // Same simulation, different barrier schedule: everything but the
+  // epochs_run trailer must match.
+  EXPECT_EQ(widened.substr(0, widened.find("epochs_run=")),
+            literal.substr(0, literal.find("epochs_run=")));
+  const auto epochs = [](const std::string& s) {
+    return std::stoull(s.substr(s.find("epochs_run=") + 11));
+  };
+  EXPECT_LT(epochs(widened), epochs(literal));
 }
 
 TEST(ParallelDeterminism, ChurnAndDetectionStayDeterministic) {

@@ -51,9 +51,20 @@ TEST(ShardedEngine, PartitionMapIsContiguousAndBalanced) {
   for (std::size_t n : sizes) EXPECT_TRUE(n == 25 || n == 26);
 }
 
-TEST(ShardedEngine, PartitionsClampToNodeCount) {
+TEST(ShardedEngine, DegeneratePartitioningClampsToSinglePartition) {
+  // More partitions than nodes is a degenerate layout: rather than running
+  // empty shards, the engine collapses to one partition, which delegates to
+  // the plain sequential loop (and is therefore byte-identical to it — see
+  // ParallelDeterminism.DegeneratePartitioningMatchesSequentialEngine).
   ShardedEngine e(7, /*node_count=*/3, {/*partitions=*/16, /*workers=*/2, SimTime::ms(1)});
-  EXPECT_EQ(e.partitions(), 3u);
+  EXPECT_EQ(e.partitions(), 1u);
+}
+
+TEST(ShardedEngine, SingleNodePartitionsAreAllowed) {
+  // partitions == node_count is legal (every message crosses a boundary).
+  ShardedEngine e(7, /*node_count=*/5, {/*partitions=*/5, /*workers=*/2, SimTime::ms(1)});
+  EXPECT_EQ(e.partitions(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(e.partition_of(i), i);
 }
 
 TEST(ShardedEngine, MakeRngMatchesSequentialSimulator) {
@@ -133,6 +144,150 @@ TEST(ShardedEngine, CrossPartitionCollidingArrivalsOrderIndependentOfWorkers) {
 
 TEST(ShardedEngineDeathTest, MultiPartitionRequiresPositiveEpoch) {
   EXPECT_DEATH(ShardedEngine(1, 8, {2, 1, SimTime::zero()}), "epoch");
+}
+
+// --- adaptive epoch widening ------------------------------------------------
+
+TEST(ShardedEngine, EpochWideningSkipsQuiescentGaps) {
+  // Two events 100 ms and 150 ms out, 1 ms epochs: a literal barrier loop
+  // would grind ~200 empty epochs; widening fast-forwards to each event.
+  // The barrier schedule is a function of the layout alone, so the counters
+  // must not move with the worker count.
+  std::uint64_t base_run = 0, base_skipped = 0;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    ShardedEngine e(7, 8, {/*partitions=*/2, workers, SimTime::ms(1)});
+    std::vector<SimTime> fired;
+    e.sim_of(0).at(SimTime::ms(100), [&] { fired.push_back(e.sim_of(0).now()); });
+    e.sim_of(1).at(SimTime::ms(150), [&] { fired.push_back(e.sim_of(1).now()); });
+    e.run_until(SimTime::ms(200));
+    ASSERT_EQ(fired.size(), 2u) << "workers=" << workers;
+    EXPECT_EQ(fired[0], SimTime::ms(100));
+    EXPECT_EQ(fired[1], SimTime::ms(150));
+    EXPECT_GT(e.epochs_skipped(), 0u);
+    EXPECT_LT(e.epochs_run(), 10u);  // vs ~200 without widening
+    if (workers == 1) {
+      base_run = e.epochs_run();
+      base_skipped = e.epochs_skipped();
+    } else {
+      EXPECT_EQ(e.epochs_run(), base_run) << "workers=" << workers;
+      EXPECT_EQ(e.epochs_skipped(), base_skipped) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ShardedEngine, EpochWideningOffGrindsEveryEpoch) {
+  ShardedEngine::Config cfg{/*partitions=*/2, /*workers=*/1, SimTime::ms(1)};
+  cfg.epoch_widening = false;
+  ShardedEngine e(7, 8, std::move(cfg));
+  int fired = 0;
+  e.sim_of(0).at(SimTime::ms(100), [&] { ++fired; });
+  e.run_until(SimTime::ms(200));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.epochs_skipped(), 0u);
+  EXPECT_GE(e.epochs_run(), 200u);
+}
+
+TEST(ShardedEngine, WideningNeverJumpsScheduledControlTasks) {
+  // An otherwise-empty engine: widening wants to jump straight to `until`,
+  // but a control task at 50 ms caps the jump — it must run at exactly its
+  // scheduled barrier, and an event scheduled *by* it must still run too.
+  ShardedEngine e(7, 8, {/*partitions=*/2, /*workers=*/1, SimTime::ms(1)});
+  std::vector<SimTime> control_at;
+  std::vector<SimTime> event_at;
+  e.schedule_control(SimTime::ms(50), [&] {
+    control_at.push_back(e.now());
+    e.sim_of(1).at(SimTime::ms(120), [&] { event_at.push_back(e.sim_of(1).now()); });
+  });
+  e.run_until(SimTime::ms(200));
+  ASSERT_EQ(control_at.size(), 1u);
+  EXPECT_EQ(control_at[0], SimTime::ms(50));
+  ASSERT_EQ(event_at.size(), 1u);
+  EXPECT_EQ(event_at[0], SimTime::ms(120));
+  EXPECT_GT(e.epochs_skipped(), 0u);
+}
+
+TEST(ShardedEngineDeathTest, WideningPastAControlTaskIsFatal) {
+  // The guard behind the widening rule: jumping a barrier past a scheduled
+  // control task (retransmit snapshots, churn crashes...) would silently
+  // reorder the run. The engine's own widen targets always respect the cap;
+  // this pins the assertion that would catch a future regression.
+  ShardedEngine e(1, 8, {2, 1, SimTime::ms(1)});
+  e.schedule_control(SimTime::ms(5), [] {});
+  EXPECT_DEATH(e.assert_widen_safe(SimTime::ms(6)), "control");
+}
+
+// --- exchange modes ----------------------------------------------------------
+
+// Digest of every delivery: receiver, payload length, and payload contents
+// (first/last bytes). Distinct per-sender payload sizes make any packing
+// offset bug (wrong slice, wrong segment) visible, not just ordering bugs.
+std::string exchange_digest(net::FabricConfig::ExchangeMode mode, std::size_t workers) {
+  constexpr std::size_t kNodes = 24;
+  ShardedEngine engine(123, kNodes, {/*partitions=*/4, workers, SimTime::ms(5)});
+  net::FabricConfig cfg;
+  cfg.exchange = mode;
+  net::NetworkFabric fabric(engine, std::make_unique<net::ConstantLatency>(SimTime::ms(10)),
+                            std::make_unique<net::NoLoss>(), cfg);
+  // Per-receiver logs: a node's deliveries run on its partition's worker, so
+  // each slot is written by one thread only; concatenating in id order at
+  // the end gives a layout- and worker-independent digest.
+  std::vector<std::string> per_node(kNodes);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    fabric.register_node(NodeId{i}, BitRate::unlimited(),
+                         [&per_node, i](const net::Datagram& d) {
+                           per_node[i] += std::to_string(d.src.value()) + ":" +
+                                          std::to_string(d.bytes.size()) + ":" +
+                                          std::to_string(d.bytes.data()[0]) + ":" +
+                                          std::to_string(d.bytes.data()[d.bytes.size() - 1]) +
+                                          "\n";
+                         });
+  }
+  // Two bursts so sender-side segment recycling across epochs is exercised;
+  // sizes vary per sender so records land at distinct offsets.
+  for (int burst = 0; burst < 2; ++burst) {
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      std::vector<std::uint8_t> payload(64 + 97 * i % 1500 + 1,
+                                        static_cast<std::uint8_t>(i + burst));
+      payload.back() = static_cast<std::uint8_t>(0xF0 + burst);
+      fabric.send(NodeId{i}, NodeId{(i * 7 + 1 + static_cast<std::uint32_t>(burst)) % kNodes},
+                  net::MsgClass::kServe, net::BufferRef::copy_of(payload));
+    }
+    engine.run_until(engine.now() + SimTime::ms(25));
+  }
+  std::string digest;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    digest += std::to_string(i) + "[" + per_node[i] + "]";
+  }
+  return digest;
+}
+
+TEST(ShardedEngine, BatchedAndDeepCopyExchangeAreByteIdentical) {
+  const std::string base = exchange_digest(net::FabricConfig::ExchangeMode::kBatched, 1);
+  EXPECT_NE(base.find(":"), std::string::npos);
+  for (std::size_t workers : {1u, 4u}) {
+    EXPECT_EQ(exchange_digest(net::FabricConfig::ExchangeMode::kBatched, workers), base);
+    EXPECT_EQ(exchange_digest(net::FabricConfig::ExchangeMode::kDeepCopy, workers), base);
+  }
+}
+
+TEST(ShardedEngine, OversizedPayloadSurvivesBatchedExchange) {
+  // A payload larger than the 256 KiB pack segment gets a dedicated
+  // exact-size segment; contents must arrive intact.
+  constexpr std::size_t kBig = 300 * 1024;
+  ShardedEngine engine(5, 4, {/*partitions=*/2, /*workers=*/1, SimTime::ms(1)});
+  net::NetworkFabric fabric(engine, std::make_unique<net::ConstantLatency>(SimTime::ms(2)),
+                            std::make_unique<net::NoLoss>());
+  std::vector<std::uint8_t> got;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    fabric.register_node(NodeId{i}, BitRate::unlimited(), [&got](const net::Datagram& d) {
+      got = d.bytes.to_vector();
+    });
+  }
+  std::vector<std::uint8_t> payload(kBig);
+  for (std::size_t i = 0; i < kBig; ++i) payload[i] = static_cast<std::uint8_t>(i * 31 >> 3);
+  fabric.send(NodeId{0}, NodeId{3}, net::MsgClass::kServe, net::BufferRef::copy_of(payload));
+  engine.run_until(SimTime::ms(10));
+  EXPECT_EQ(got, payload);
 }
 
 }  // namespace
