@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Determinism linter: static scan for nondeterminism sources in src/.
+
+Every figure this reproduction emits is bitwise-reproducible from the run
+seed, across worker counts and partition layouts. That contract dies quietly:
+one iteration over a hash container, one wall-clock read, one pointer used as
+a sort key, and results depend on allocator layout / libstdc++ internals /
+machine time — in ways golden tests catch late or never. This linter rejects
+the known sources at review time.
+
+Rules (ids are stable; `--list-rules` prints this table):
+
+  unordered-container   declaration/use of std::unordered_{map,set,multimap,
+                        multiset}: iteration order is bucket-layout dependent.
+                        Use std::map, a sorted vector, or gossip::WindowRing.
+  unordered-iteration   range-for / .begin() over an identifier declared as an
+                        unordered container in the same file (the actual
+                        order-dependence, reported precisely).
+  std-hash              std::hash usage: hash values are implementation
+                        details; deriving order, sampling, or seeds from them
+                        is layout-dependence by another name.
+  pointer-order         ordering by address: std::less<T*>, std::owner_less,
+                        or relational comparison of uintptr_t casts. Addresses
+                        differ run to run; sort by index or id instead.
+  wall-clock            std::chrono clocks, time(), gettimeofday, clock(),
+                        clock_gettime, timespec_get: simulation time is
+                        sim::SimTime; wall time belongs in bench/ only.
+  raw-random            rand/srand/random_device/mt19937/default_random_engine
+                        /*rand48: all randomness flows from the run seed via
+                        hg::Rng (common/rng.hpp) so runs replay bit-for-bit.
+  thread-id             std::this_thread::get_id, pthread_self, gettid:
+                        logic keyed on thread identity breaks worker-count
+                        invariance. Partition/node ids are the stable keys.
+
+Escape hatch (line level, same line or the line above):
+
+    // hg-lint: allow(<rule>) <reason>
+
+The reason is mandatory: an allow without one is itself a finding. Sanctioned
+files (common/rng.hpp, common/rng.cpp) are exempt from raw-random — that is
+where the one true randomness source lives.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Rule id -> (compiled pattern, message). Patterns run against code with
+# comments and string/char literals stripped (so prose and log text never
+# trip a rule) but with line structure preserved (findings carry file:line).
+RULES: dict[str, tuple[re.Pattern[str], str]] = {
+    "unordered-container": (
+        re.compile(r"\bunordered_(?:multi)?(?:map|set)\b"),
+        "hash container: iteration order depends on bucket layout; use std::map, "
+        "a sorted vector, or gossip::WindowRing",
+    ),
+    "std-hash": (
+        re.compile(r"\bstd\s*::\s*hash\s*<"),
+        "std::hash is an implementation detail; derive order/sampling/seeds from "
+        "ids and the run seed (hg::Rng / splitmix64)",
+    ),
+    "pointer-order": (
+        re.compile(
+            r"std\s*::\s*less\s*<[^<>;]*\*\s*>"
+            r"|std\s*::\s*owner_less\b"
+            r"|reinterpret_cast\s*<\s*(?:std\s*::\s*)?uintptr_t\s*>\s*\([^)]*\)\s*[<>]=?"
+        ),
+        "ordering by address: pointer values differ run to run; sort by index or id",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"\b(?:system_clock|steady_clock|high_resolution_clock|file_clock|utc_clock)\b"
+            r"|\bgettimeofday\b|\bclock_gettime\b|\btimespec_get\b"
+            r"|std\s*::\s*time\s*\(|(?<![\w.:>])time\s*\(\s*(?:nullptr|NULL|0|&)"
+            r"|(?<![\w.:>])clock\s*\(\s*\)"
+        ),
+        "wall-clock read: simulation time is sim::SimTime (timing harnesses live in "
+        "bench/, outside this scan)",
+    ),
+    "raw-random": (
+        re.compile(
+            r"\brandom_device\b|\bmt19937(?:_64)?\b|\bdefault_random_engine\b"
+            r"|\bminstd_rand0?\b|\branlux(?:24|48)\b"
+            r"|(?<![\w.:>])s?rand\s*\(|\b[dlm]rand48\b|\brandom_shuffle\b"
+        ),
+        "unseeded/global randomness: draw from hg::Rng (common/rng.hpp), forked from "
+        "the run seed, so runs replay bit-for-bit",
+    ),
+    "thread-id": (
+        re.compile(r"\bthis_thread\s*::\s*get_id\b|\bpthread_self\b|\bgettid\b"),
+        "thread-identity-dependent logic breaks worker-count invariance; key on "
+        "partition or node ids",
+    ),
+}
+
+# unordered-iteration is synthesized per file (needs the declared names).
+ITER_RULE = "unordered-iteration"
+ITER_MSG = (
+    "iteration over a hash container: visit order is bucket-layout dependent "
+    "and leaks into results"
+)
+
+ALL_RULES = sorted([*RULES, ITER_RULE])
+
+# Files exempt from a rule: the sanctioned home of the behaviour.
+SANCTIONED: dict[str, set[str]] = {
+    "raw-random": {"common/rng.hpp", "common/rng.cpp"},
+}
+
+ALLOW_RE = re.compile(r"hg-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;{}]*>\s+(\w+)\s*[;={(]"
+)
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".cxx", ".hh", ".ipp"}
+
+
+def strip_code(text: str) -> str:
+    """Remove comments and string/char literal *contents*, keeping newlines."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.extend(ch if ch == "\n" else " " for ch in text[i:end])
+            i = end
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                if i < n and text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_allows(raw_lines: list[str], findings: list[Finding], path: Path) -> dict[int, set[str]]:
+    """Map line number -> rules allowed there (the comment covers its own line
+    and the next). Malformed allows (unknown rule, missing reason) are
+    findings themselves, so the escape hatch cannot rot silently."""
+    allows: dict[int, set[str]] = {}
+    for ln, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m is None:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if rule not in ALL_RULES:
+            findings.append(
+                Finding(path, ln, "bad-allow", f"unknown rule '{rule}' (see --list-rules)")
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(
+                    path, ln, "bad-allow",
+                    f"allow({rule}) without a reason: justify why this is deterministic",
+                )
+            )
+            continue
+        allows.setdefault(ln, set()).add(rule)
+        allows.setdefault(ln + 1, set()).add(rule)
+    return allows
+
+
+def scan_file(path: Path, rel: str) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    findings: list[Finding] = []
+    allows = parse_allows(raw_lines, findings, path)
+    code_lines = strip_code(raw).splitlines()
+
+    # Names declared as unordered containers in this file, for the iteration
+    # rule (best effort: same-file declarations, which is how members and
+    # locals overwhelmingly appear).
+    unordered_names = {
+        m.group(1) for line in code_lines for m in UNORDERED_DECL_RE.finditer(line)
+    }
+    iter_res = []
+    if unordered_names:
+        names = "|".join(re.escape(n) for n in sorted(unordered_names))
+        iter_res = [
+            re.compile(r":\s*(?:this\s*->\s*)?(?:" + names + r")\s*\)"),  # range-for
+            re.compile(r"\b(?:" + names + r")\s*\.\s*(?:c?begin|c?end)\s*\("),
+        ]
+
+    for ln, line in enumerate(code_lines, start=1):
+        allowed = allows.get(ln, set())
+        for rule, (pattern, message) in RULES.items():
+            if rel in SANCTIONED.get(rule, set()):
+                continue
+            if pattern.search(line) and rule not in allowed:
+                findings.append(Finding(path, ln, rule, message))
+        for pattern in iter_res:
+            if pattern.search(line) and ITER_RULE not in allowed:
+                findings.append(Finding(path, ln, ITER_RULE, ITER_MSG))
+    return findings
+
+
+def collect(paths: list[Path]) -> list[tuple[Path, str]]:
+    files: list[tuple[Path, str]] = []
+    for p in paths:
+        if p.is_file():
+            files.append((p, p.name))
+        elif p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix in SOURCE_SUFFIXES and f.is_file():
+                    files.append((f, f.relative_to(p).as_posix()))
+        else:
+            print(f"lint_determinism: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description="Static scan for nondeterminism sources.")
+    ap.add_argument("paths", nargs="*", type=Path, help="files or directories (default: src/)")
+    ap.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    paths = args.paths or [Path(__file__).resolve().parent.parent / "src"]
+    findings: list[Finding] = []
+    scanned = 0
+    for path, rel in collect(paths):
+        scanned += 1
+        findings.extend(scan_file(path, rel))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} finding(s) in {scanned} file(s); "
+            "fix, or justify with '// hg-lint: allow(<rule>) <reason>'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: {scanned} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

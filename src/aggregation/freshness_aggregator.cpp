@@ -30,19 +30,24 @@ void FreshnessAggregator::gossip_round() {
   fresh.reserve(config_.records_per_gossip);
   fresh.push_back({self_, own_capability_.bits_per_sec(), sim_.now()});
 
-  std::vector<std::pair<sim::SimTime, NodeId>> by_age;
-  by_age.reserve(records_.size());
-  for (const auto& [origin, known] : records_) {
-    by_age.emplace_back(known.measured_at, origin);
-  }
+  // Rank by freshness; equal timestamps break toward the smaller origin id
+  // (records_ indices ascend with origin), a total order — which records
+  // propagate can never depend on container layout or sort internals.
+  std::vector<std::uint32_t> by_age(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) by_age[i] = i;
   const std::size_t want = config_.records_per_gossip - 1;
   if (by_age.size() > want) {
     std::partial_sort(by_age.begin(), by_age.begin() + static_cast<std::ptrdiff_t>(want),
-                      by_age.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
+                      by_age.end(), [this](std::uint32_t a, std::uint32_t b) {
+                        if (records_[a].measured_at != records_[b].measured_at) {
+                          return records_[a].measured_at > records_[b].measured_at;
+                        }
+                        return a < b;
+                      });
     by_age.resize(want);
   }
-  for (const auto& [ts, origin] : by_age) {
-    fresh.push_back({origin, records_[origin].capability_bps, ts});
+  for (std::uint32_t i : by_age) {
+    fresh.push_back({records_[i].origin, records_[i].capability_bps, records_[i].measured_at});
   }
 
   const auto bytes = gossip::encode(gossip::AggregationMsg{self_, fresh});
@@ -53,52 +58,65 @@ void FreshnessAggregator::gossip_round() {
   }
 }
 
+std::size_t FreshnessAggregator::lower_bound_index(NodeId origin) const {
+  const auto it =
+      std::lower_bound(records_.begin(), records_.end(), origin,
+                       [](const Known& k, NodeId o) { return k.origin.value() < o.value(); });
+  return static_cast<std::size_t>(it - records_.begin());
+}
+
 void FreshnessAggregator::on_datagram(const net::Datagram& d) {
   auto msg = gossip::decode_aggregation(d.bytes);
   if (!msg) return;
   for (const gossip::CapabilityRecord& rec : msg->records) {
     if (rec.origin == self_) continue;  // own value is authoritative locally
-    if (config_.max_records > 0 && !records_.contains(rec.origin) &&
-        records_.size() >= config_.max_records) {
+    std::size_t pos = lower_bound_index(rec.origin);
+    const bool present = pos < records_.size() && records_[pos].origin == rec.origin;
+    if (config_.max_records > 0 && !present && records_.size() >= config_.max_records) {
       // Table full: the stalest record loses. A full scan per eviction is
-      // fine (the cap is small) and — unlike "evict first in iteration
-      // order" — independent of the hash table's bucket layout, keeping
-      // runs deterministic. Ties break toward the larger origin id.
-      auto stalest = records_.begin();
-      for (auto it = records_.begin(); it != records_.end(); ++it) {
-        if (it->second.measured_at < stalest->second.measured_at ||
-            (it->second.measured_at == stalest->second.measured_at &&
-             it->first.value() > stalest->first.value())) {
-          stalest = it;
-        }
+      // fine (the cap is small) and independent of storage layout: ties
+      // break toward the larger origin id, a total order.
+      std::size_t stalest = 0;
+      for (std::size_t i = 1; i < records_.size(); ++i) {
+        // Ascending origin scan: a strictly staler record always wins the
+        // slot, an equally stale one has the larger origin and wins too.
+        if (records_[i].measured_at <= records_[stalest].measured_at) stalest = i;
       }
-      if (stalest->second.measured_at >= rec.measured_at) {
+      if (records_[stalest].measured_at >= rec.measured_at) {
         ++stats_.records_stale_dropped;
         continue;  // the incoming record is the stalest of them all
       }
-      records_.erase(stalest);
+      records_.erase(records_.begin() + static_cast<std::ptrdiff_t>(stalest));
+      pos = lower_bound_index(rec.origin);
     }
-    auto [it, inserted] = records_.try_emplace(rec.origin);
-    if (!inserted && it->second.measured_at >= rec.measured_at) {
-      ++stats_.records_stale_dropped;
-      continue;  // keep the fresher record
+    if (present) {
+      if (records_[pos].measured_at >= rec.measured_at) {
+        ++stats_.records_stale_dropped;
+        continue;  // keep the fresher record
+      }
+    } else {
+      records_.insert(records_.begin() + static_cast<std::ptrdiff_t>(pos),
+                      Known{rec.origin, 0, sim::SimTime::zero()});
     }
-    it->second.capability_bps = rec.capability_bps;
-    it->second.measured_at = rec.measured_at;
+    records_[pos].capability_bps = rec.capability_bps;
+    records_[pos].measured_at = rec.measured_at;
     ++stats_.records_merged;
   }
 }
 
 double FreshnessAggregator::average_capability_bps() const {
-  double sum = static_cast<double>(own_capability_.bits_per_sec());
+  // Integer accumulation: the sum is exact, so the estimate is independent of
+  // visit order by construction (a double running sum is only incidentally
+  // so while partial sums stay under 2^53).
+  std::int64_t sum = own_capability_.bits_per_sec();
   std::size_t count = 1;
   const sim::SimTime now = sim_.now();
-  for (const auto& [origin, known] : records_) {
+  for (const Known& known : records_) {
     if (now - known.measured_at > config_.record_expiry) continue;
-    sum += static_cast<double>(known.capability_bps);
+    sum += known.capability_bps;
     ++count;
   }
-  return sum / static_cast<double>(count);
+  return static_cast<double>(sum) / static_cast<double>(count);
 }
 
 }  // namespace hg::aggregation

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -87,12 +86,22 @@ class FreshnessAggregator final : public CapabilityEstimator {
   AggregationConfig config_;
   Rng rng_;
 
-  // Freshest record per origin (self excluded; own value is implicit).
+  // Freshest record per origin (self excluded; own value is implicit), kept
+  // as a flat map: a vector sorted by origin id. The table is iterated on
+  // every 200ms round (freshness ranking) and every estimate read (expiry
+  // scan) — with a hash container those visits run in bucket-layout order,
+  // which is libstdc++-internal and feeds straight into which records gossip
+  // next; id-sorted storage makes every scan platform-independent (and the
+  // determinism linter now rejects unordered containers tree-wide). Lookup
+  // is O(log n); the O(n) insert memmove is bounded by max_records at scale
+  // and beaten by the per-round scans everywhere else.
   struct Known {
+    NodeId origin;
     std::int64_t capability_bps = 0;
     sim::SimTime measured_at;
   };
-  std::unordered_map<NodeId, Known> records_;
+  std::vector<Known> records_;  // sorted by origin id
+  [[nodiscard]] std::size_t lower_bound_index(NodeId origin) const;
   sim::Simulator::PeriodicHandle timer_;
   std::vector<NodeId> targets_scratch_;
   Stats stats_;

@@ -1,0 +1,71 @@
+// Annotated synchronization primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable_any that carry the
+// Clang thread-safety attributes (common/thread_annotations.hpp). libstdc++'s
+// primitives ship without capability annotations, so locking through them is
+// invisible to `-Wthread-safety`; locking through these makes every guarded
+// access compiler-checked. On non-Clang builds the annotations vanish and the
+// wrappers compile down to the standard types.
+//
+// CondVar wraps condition_variable_any waiting on the Mutex itself (it is
+// BasicLockable), so the analysis sees one capability throughout a wait. The
+// usual caveat applies: wait() releases the mutex internally while blocked;
+// the annotations assert only that the caller holds it at entry and exit,
+// which is the contract predicate loops rely on.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace hg::sync {
+
+class HG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() HG_ACQUIRE() { mu_.lock(); }
+  void unlock() HG_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() HG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard; the analysis tracks the capability for the guard's scope.
+class HG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() HG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until `pred()` holds; `mu` must be held and is held again on
+  // return (released while blocked, like any condition wait).
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) HG_REQUIRES(mu) {
+    cv_.wait(mu, pred);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace hg::sync

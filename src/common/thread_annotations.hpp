@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis annotations (no-ops elsewhere).
+//
+// These macros attach the compiler-checked locking contract to shared state:
+// which mutex guards a field, which lock a function requires, what a scoped
+// guard acquires. Clang's `-Wthread-safety` then rejects, at compile time,
+// any access that violates the contract — an unguarded read of a
+// HG_GUARDED_BY field, a call to an HG_REQUIRES function without the lock,
+// a forgotten unlock. GCC and MSVC see empty macros, so annotations cost
+// nothing on non-Clang builds.
+//
+// The annotations only bite on types marked HG_CAPABILITY — std::mutex is
+// not one (libstdc++ ships no attributes), which is why the project locks
+// through hg::sync::Mutex / hg::sync::MutexLock (common/sync.hpp) instead of
+// raw standard-library primitives.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HG_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// Type annotations -----------------------------------------------------------
+
+// Marks a class as a capability (lockable). `x` names the capability kind in
+// diagnostics, conventionally "mutex" or "role".
+#define HG_CAPABILITY(x) HG_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (e.g. hg::sync::MutexLock).
+#define HG_SCOPED_CAPABILITY HG_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member annotations ----------------------------------------------------
+
+// The member may only be accessed while holding capability `x`.
+#define HG_GUARDED_BY(x) HG_THREAD_ANNOTATION(guarded_by(x))
+
+// The *pointee* of this pointer member may only be accessed while holding `x`
+// (the pointer itself is unguarded).
+#define HG_PT_GUARDED_BY(x) HG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock prevention).
+#define HG_ACQUIRED_BEFORE(...) HG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HG_ACQUIRED_AFTER(...) HG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function annotations -------------------------------------------------------
+
+// The caller must hold the capability (exclusively / shared) when calling.
+#define HG_REQUIRES(...) HG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HG_REQUIRES_SHARED(...) HG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and holds it on return.
+#define HG_ACQUIRE(...) HG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HG_ACQUIRE_SHARED(...) HG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases a capability the caller holds.
+#define HG_RELEASE(...) HG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HG_RELEASE_SHARED(...) HG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability only when returning `b`.
+#define HG_TRY_ACQUIRE(...) HG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// The caller must NOT hold the capability (the function acquires it itself —
+// calling with it held would deadlock).
+#define HG_EXCLUDES(...) HG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime-checked assertion that the capability is held; the analysis treats
+// it as held for the rest of the scope.
+#define HG_ASSERT_CAPABILITY(x) HG_THREAD_ANNOTATION(assert_capability(x))
+
+// The function returns a reference to the named capability.
+#define HG_RETURN_CAPABILITY(x) HG_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables analysis inside one function. Every use carries a
+// comment explaining why the contract cannot be expressed.
+#define HG_NO_THREAD_SAFETY_ANALYSIS HG_THREAD_ANNOTATION(no_thread_safety_analysis)

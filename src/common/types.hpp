@@ -73,16 +73,8 @@ class EventId {
 
 }  // namespace hg
 
-template <>
-struct std::hash<hg::NodeId> {
-  std::size_t operator()(hg::NodeId id) const noexcept {
-    return std::hash<std::uint32_t>{}(id.value());
-  }
-};
-
-template <>
-struct std::hash<hg::EventId> {
-  std::size_t operator()(hg::EventId id) const noexcept {
-    return static_cast<std::size_t>(id.raw() * 0x9e3779b97f4a7c15ULL);  // Fibonacci hash
-  }
-};
+// Deliberately NO std::hash specializations for NodeId/EventId: simulation
+// state must never live in hash containers (iteration order is bucket-layout
+// dependent — the determinism linter rejects them tree-wide), so making the
+// ids hashable would only invite the bug back. Test-side hash *models* (e.g.
+// the WindowRing equivalence fuzz) define their own local specializations.

@@ -14,6 +14,24 @@
 // Experiment destroyed on the main thread) is freed directly instead of
 // being pushed onto a foreign free list; the owner pool pointer is only ever
 // compared against the releasing thread's own pool, never dereferenced.
+//
+// In the sharded engine (P >= 2), the same rule is what keeps the non-atomic
+// refcounts sound: every BufferRef is confined to the partition (and thus the
+// worker thread) whose pool allocated it. NetworkFabric never moves a ref
+// across partitions — a message crossing a partition boundary is deep-copied
+// into the destination partition's pool during the barrier exchange, while
+// workers are parked (see fabric.cpp). WorkerPool's static index→worker
+// assignment makes partition→thread stable for the life of a run, so a
+// chunk's allocating thread services it for every epoch.
+//
+// Nothing in this header can check that contract at compile time (the pool
+// is thread-local by construction, not by annotation), so it is enforced
+// dynamically: the TSan CI job runs the sharded-engine and parallel
+// determinism suites at HG_WORKERS=4, where a ref leaking across the
+// boundary shows up as a data race on `refs`. The determinism linter
+// separately keeps address-ordered logic out of the exchange path, so the
+// deep-copy import order stays canonical (src partition, index), never
+// pointer-valued.
 #pragma once
 
 #include <cstdint>

@@ -230,7 +230,7 @@ void NetworkFabric::exchange(std::uint32_t partition) {
 
 void NetworkFabric::exchange_batched(std::uint32_t partition) {
   Partition& dst = parts_[partition];
-  dst.import_recs.clear();
+  dst.import_order.clear();
   // Copy every inbound segment wholesale into this worker's pool — one
   // memcpy + one pooled allocation per <=256 KiB block, not per message —
   // then schedule zero-copy slices of the copies. The sender's originals
@@ -242,59 +242,66 @@ void NetworkFabric::exchange_batched(std::uint32_t partition) {
     for (const PackSeg& s : block.segs) {
       segs.push_back(BufferRef::copy_of({s.fill, static_cast<std::size_t>(s.used)}));
     }
-    for (const PackRec& r : block.recs) dst.import_recs.emplace_back(sp, &r);
+    for (std::uint32_t i = 0; i < block.recs.size(); ++i) dst.import_order.emplace_back(sp, i);
   }
   // Deterministic import order, independent of the worker count: arrival
   // time, then the seed-derived tiebreak, then source partition, then send
-  // order (record address order within one source's block is send order).
-  std::sort(dst.import_recs.begin(), dst.import_recs.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second->arrive != b.second->arrive) return a.second->arrive < b.second->arrive;
-              if (a.second->tiebreak != b.second->tiebreak) {
-                return a.second->tiebreak < b.second->tiebreak;
-              }
+  // order (record index within one source's block is send order).
+  const auto rec = [&](const std::pair<std::uint32_t, std::uint32_t>& e) -> const PackRec& {
+    return parts_[e.first].blocks[partition].recs[e.second];
+  };
+  std::sort(dst.import_order.begin(), dst.import_order.end(),
+            [&rec](const auto& a, const auto& b) {
+              const PackRec& ra = rec(a);
+              const PackRec& rb = rec(b);
+              if (ra.arrive != rb.arrive) return ra.arrive < rb.arrive;
+              if (ra.tiebreak != rb.tiebreak) return ra.tiebreak < rb.tiebreak;
               if (a.first != b.first) return a.first < b.first;
               return a.second < b.second;
             });
-  for (const auto& [sp, r] : dst.import_recs) {
-    Datagram d{r->src, r->dst, r->cls, dst.import_segs[sp][r->seg].slice(r->off, r->len),
-               r->phantom};
-    dst.sim->at_keyed(r->arrive, r->tiebreak,
-                      [this, d = std::move(d)]() { deliver_parallel(d); });
+  for (const auto& e : dst.import_order) {
+    const PackRec& r = rec(e);
+    Datagram d{r.src, r.dst, r.cls, dst.import_segs[e.first][r.seg].slice(r.off, r.len),
+               r.phantom};
+    dst.sim->at_keyed(r.arrive, r.tiebreak, [this, d = std::move(d)]() { deliver_parallel(d); });
   }
-  dst.import_recs.clear();
+  dst.import_order.clear();
   // The scheduled slices pin the segment copies; the scratch refs can drop.
   for (std::vector<BufferRef>& segs : dst.import_segs) segs.clear();
 }
 
 void NetworkFabric::exchange_deep_copy(std::uint32_t partition) {
   Partition& dst = parts_[partition];
-  dst.import_scratch.clear();
-  for (const Partition& src : parts_) {
-    for (const OutMsg& m : src.outbox) {
-      if (m.dst_partition == partition) dst.import_scratch.push_back(&m);
+  dst.import_order.clear();
+  for (std::uint32_t sp = 0; sp < parts_.size(); ++sp) {
+    const std::vector<OutMsg>& outbox = parts_[sp].outbox;
+    for (std::uint32_t i = 0; i < outbox.size(); ++i) {
+      if (outbox[i].dst_partition == partition) dst.import_order.emplace_back(sp, i);
     }
   }
   // Same canonical order as the batched path: arrival, tiebreak, source
-  // partition, send order (address order within one outbox is index order).
-  std::sort(dst.import_scratch.begin(), dst.import_scratch.end(),
-            [](const OutMsg* a, const OutMsg* b) {
-              if (a->arrive != b->arrive) return a->arrive < b->arrive;
-              if (a->tiebreak != b->tiebreak) return a->tiebreak < b->tiebreak;
-              if (a->src_partition != b->src_partition) {
-                return a->src_partition < b->src_partition;
-              }
-              return a < b;
+  // partition, send order (outbox index order is send order).
+  const auto msg = [&](const std::pair<std::uint32_t, std::uint32_t>& e) -> const OutMsg& {
+    return parts_[e.first].outbox[e.second];
+  };
+  std::sort(dst.import_order.begin(), dst.import_order.end(),
+            [&msg](const auto& a, const auto& b) {
+              const OutMsg& ma = msg(a);
+              const OutMsg& mb = msg(b);
+              if (ma.arrive != mb.arrive) return ma.arrive < mb.arrive;
+              if (ma.tiebreak != mb.tiebreak) return ma.tiebreak < mb.tiebreak;
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
             });
-  for (const OutMsg* m : dst.import_scratch) {
+  for (const auto& e : dst.import_order) {
+    const OutMsg& m = msg(e);
     // Deep copy on the importing worker's thread: destination-held bytes
     // must belong to the destination's thread-local pool.
-    Datagram copy{m->d.src, m->d.dst, m->d.cls, BufferRef::copy_of(m->d.bytes.bytes()),
-                  m->d.phantom_bytes};
-    dst.sim->at_keyed(m->arrive, m->tiebreak,
-                      [this, c = std::move(copy)]() { deliver_parallel(c); });
+    Datagram copy{m.d.src, m.d.dst, m.d.cls, BufferRef::copy_of(m.d.bytes.bytes()),
+                  m.d.phantom_bytes};
+    dst.sim->at_keyed(m.arrive, m.tiebreak, [this, c = std::move(copy)]() { deliver_parallel(c); });
   }
-  dst.import_scratch.clear();
+  dst.import_order.clear();
 }
 
 std::uint64_t NetworkFabric::datagrams_lost() const {
@@ -321,6 +328,14 @@ NetworkFabric::SuperstepCounters NetworkFabric::superstep_counters() const {
 }
 
 void NetworkFabric::kill(NodeId id) {
+  // Alive flags are read lock-free by every partition during epochs; they may
+  // only change while the workers are parked at a barrier (control tasks,
+  // setup/teardown). A mid-epoch kill would be a data race AND a determinism
+  // hole (delivery would depend on thread timing) — abort instead.
+  HG_ASSERT_MSG(engine_ == nullptr || engine_->quiescent(),
+                "NetworkFabric::kill outside a barrier: crash-stop must run from a "
+                "control task (ShardedEngine::schedule_control), never from a "
+                "worker-driven event");
   Shard& s = shard(id);
   const std::size_t i = index_in_shard(id);
   s.alive[i] = 0;
@@ -329,6 +344,11 @@ void NetworkFabric::kill(NodeId id) {
 }
 
 void NetworkFabric::set_capacity(NodeId id, BitRate capacity) {
+  // Same discipline as kill(): the capacity feeds concurrent transmit-time
+  // math on the owner's worker; reconfigure only between epochs.
+  HG_ASSERT_MSG(engine_ == nullptr || engine_->quiescent(),
+                "NetworkFabric::set_capacity outside a barrier: reconfigure links from "
+                "a control task, never from a worker-driven event");
   link_mut(id).set_capacity(capacity);
 }
 

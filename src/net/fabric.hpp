@@ -102,7 +102,10 @@ class NetworkFabric final : public sim::PartitionBridge {
             std::int64_t phantom_bytes = 0);
 
   // Crash-stop: the node neither sends nor receives from now on. In sharded
-  // mode this must run from a barrier control task (workers quiescent).
+  // mode this must run from a barrier control task (workers quiescent) —
+  // alive flags are read lock-free across partitions during epochs, so a
+  // mid-epoch kill would be a data race. Enforced: killing while a parallel
+  // phase runs aborts (ShardedEngine::quiescent).
   void kill(NodeId id);
   [[nodiscard]] bool alive(NodeId id) const {
     return shard(id).alive[index_in_shard(id)] != 0;
@@ -216,9 +219,11 @@ class NetworkFabric final : public sim::PartitionBridge {
     std::uint64_t xpart_bytes = 0;
     std::vector<PackBlock> blocks;  // indexed by destination partition
     std::vector<OutMsg> outbox;     // kDeepCopy mode
-    // Exchange-side scratch (owned by this partition's worker).
-    std::vector<const OutMsg*> import_scratch;
-    std::vector<std::pair<std::uint32_t, const PackRec*>> import_recs;  // (src partition, rec)
+    // Exchange-side scratch (owned by this partition's worker): (source
+    // partition, record/outbox index) pairs. Indices, not pointers — the
+    // canonical import order must never rest on address comparisons (the
+    // determinism linter's pointer-order rule enforces this tree-wide).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> import_order;
     std::vector<std::vector<BufferRef>> import_segs;  // per source partition
   };
 

@@ -13,30 +13,32 @@ WorkerPool::WorkerPool(std::size_t workers) : workers_(workers == 0 ? 1 : worker
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     stop_ = true;
   }
   start_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void WorkerPool::run_share(std::size_t worker) {
-  const std::function<void(std::size_t)>& job = *job_;
-  for (std::size_t i = worker; i < n_; i += workers_) job(i);
-}
-
 void WorkerPool::thread_main(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
+    // Snapshot the round payload under the lock; the strided loop itself runs
+    // unlocked (the job pointer and bound are immutable for the round, and
+    // run() cannot retire them until pending_ drains).
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&]() { return stop_ || round_ != seen; });
+      sync::MutexLock lock(mu_);
+      start_cv_.wait(mu_, [&]() HG_REQUIRES(mu_) { return stop_ || round_ != seen; });
       if (stop_) return;
       seen = round_;
+      n = n_;
+      job = job_;
     }
-    run_share(worker);
+    for (std::size_t i = worker; i < n; i += workers_) (*job)(i);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
     }
   }
@@ -49,7 +51,7 @@ void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& job)
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     HG_ASSERT_MSG(pending_ == 0, "WorkerPool::run is not reentrant");
     n_ = n;
     job_ = &job;
@@ -57,9 +59,11 @@ void WorkerPool::run(std::size_t n, const std::function<void(std::size_t)>& job)
     ++round_;
   }
   start_cv_.notify_all();
-  run_share(0);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&]() { return pending_ == 0; });
+  // The caller is worker 0: run its share while the spawned workers run
+  // theirs, then wait for the stragglers.
+  for (std::size_t i = 0; i < n; i += workers_) job(i);
+  sync::MutexLock lock(mu_);
+  done_cv_.wait(mu_, [&]() HG_REQUIRES(mu_) { return pending_ == 0; });
   job_ = nullptr;
 }
 

@@ -10,14 +10,23 @@
 // run() is a barrier: it returns only after every index has been processed.
 // The calling thread doubles as worker 0, so a single-worker pool spawns no
 // threads at all and adds no synchronization to the sequential path.
+//
+// The locking protocol is compiler-checked: every cross-thread field is
+// HG_GUARDED_BY(mu_), and Clang's -Wthread-safety rejects any access outside
+// the lock at compile time (see common/thread_annotations.hpp). The round
+// payload (n_, job_) is written under mu_ before the round counter bumps and
+// read by workers only after they observe the bump under the same lock, so
+// the handoff needs no atomics.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace hg::sim {
 
@@ -25,7 +34,7 @@ class WorkerPool {
  public:
   // `workers` >= 1; workers - 1 threads are spawned (the caller is worker 0).
   explicit WorkerPool(std::size_t workers);
-  ~WorkerPool();
+  ~WorkerPool() HG_EXCLUDES(mu_);
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -35,23 +44,25 @@ class WorkerPool {
   // Executes job(i) for i in [0, n), index i on worker i % workers. Blocks
   // until all indices have completed. Exceptions in jobs are not supported
   // (the simulation aborts on internal errors instead of throwing).
-  void run(std::size_t n, const std::function<void(std::size_t)>& job);
+  void run(std::size_t n, const std::function<void(std::size_t)>& job) HG_EXCLUDES(mu_);
 
  private:
-  void thread_main(std::size_t worker);
-  void run_share(std::size_t worker);
+  void thread_main(std::size_t worker) HG_EXCLUDES(mu_);
 
   std::size_t workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t round_ = 0;     // bumped per run(); threads wait for the next round
-  std::size_t n_ = 0;           // indices in the current round
-  std::size_t pending_ = 0;     // workers still running the current round
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  bool stop_ = false;
+  sync::Mutex mu_;
+  sync::CondVar start_cv_;
+  sync::CondVar done_cv_;
+  // Bumped per run(); threads wait for the next round.
+  std::uint64_t round_ HG_GUARDED_BY(mu_) = 0;
+  // Indices in the current round.
+  std::size_t n_ HG_GUARDED_BY(mu_) = 0;
+  // Workers still running the current round.
+  std::size_t pending_ HG_GUARDED_BY(mu_) = 0;
+  const std::function<void(std::size_t)>* job_ HG_GUARDED_BY(mu_) = nullptr;
+  bool stop_ HG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hg::sim

@@ -68,6 +68,10 @@ void ShardedEngine::schedule_control(SimTime when, std::function<void()> fn) {
     partition_sims_[0]->at(when, std::move(fn));
     return;
   }
+  HG_ASSERT_MSG(quiescent(),
+                "schedule_control called from inside a parallel phase; control tasks "
+                "may only be scheduled between epochs (setup code or another control "
+                "task), never from a worker-driven event");
   HG_ASSERT_MSG(when >= now_, "cannot schedule a control task into the past");
   control_.emplace(when, std::move(fn));
 }
@@ -121,6 +125,12 @@ SimTime ShardedEngine::next_barrier(SimTime until) {
   return target;
 }
 
+void ShardedEngine::run_parallel_phase(const std::function<void(std::size_t)>& job) {
+  in_parallel_phase_.store(true, std::memory_order_relaxed);
+  pool_.run(partitions_, job);
+  in_parallel_phase_.store(false, std::memory_order_relaxed);
+}
+
 std::uint64_t ShardedEngine::run_until(SimTime until) {
   if (partitions_ == 1) return partition_sims_[0]->run_until(until);
   HG_ASSERT_MSG(until >= now_, "cannot run into the past");
@@ -134,7 +144,7 @@ std::uint64_t ShardedEngine::run_until(SimTime until) {
     // Events *at* the barrier time wait for control tasks carrying the same
     // timestamp (churn preempts same-time protocol activity, as in the
     // sequential engine).
-    pool_.run(partitions_, [&](std::size_t p) {
+    run_parallel_phase([&](std::size_t p) {
       if (bridge_ != nullptr) bridge_->begin_epoch(static_cast<std::uint32_t>(p));
       partition_sims_[p]->run_before(next);
     });
@@ -142,8 +152,7 @@ std::uint64_t ShardedEngine::run_until(SimTime until) {
     // worker, in deterministic order. Arrivals are >= next by the epoch
     // invariant (send time >= epoch start, delay >= epoch width).
     if (bridge_ != nullptr) {
-      pool_.run(partitions_,
-                [&](std::size_t p) { bridge_->exchange(static_cast<std::uint32_t>(p)); });
+      run_parallel_phase([&](std::size_t p) { bridge_->exchange(static_cast<std::uint32_t>(p)); });
     }
     now_ = next;
     run_controls_due();
@@ -151,7 +160,7 @@ std::uint64_t ShardedEngine::run_until(SimTime until) {
   // Inclusive tail: events scheduled exactly at `until` run (the sequential
   // run_until contract). Cross-partition messages they emit arrive strictly
   // after `until` and stay queued, as they would in a sequential run.
-  pool_.run(partitions_, [&](std::size_t p) {
+  run_parallel_phase([&](std::size_t p) {
     if (bridge_ != nullptr) bridge_->begin_epoch(static_cast<std::uint32_t>(p));
     partition_sims_[p]->run_until(until);
   });

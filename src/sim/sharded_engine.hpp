@@ -39,8 +39,21 @@
 // callbacks executed between epochs at their exact timestamp, before any
 // partition processes local events carrying the same timestamp — mirroring
 // the sequential discipline where same-time churn preempts protocol timers.
+// Thread-safety contract: the engine itself is driven by ONE thread (the
+// caller of run_until). Worker threads only ever execute inside the two
+// pool_.run() phases, during which they touch exclusively their own
+// partition's Simulator and bridge state — nothing on this class. Everything
+// else here (control_, now_, the epoch counters) is therefore confined to
+// the driving thread *between* phases. That discipline is runtime-enforced:
+// quiescent() flips around every parallel phase, and entry points that must
+// only run between epochs (schedule_control, NetworkFabric::kill, ...)
+// HG_ASSERT it — calling them from a worker-driven event aborts the run
+// instead of corrupting it. The WorkerPool barrier provides the
+// happens-before edges; TSan verifies there is no unsynchronized access
+// (see the tsan CI job).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -152,10 +165,24 @@ class ShardedEngine {
   // through this check; exposed so tests can exercise the guard directly.
   void assert_widen_safe(SimTime target) const;
 
+  // True between epochs (workers parked at the barrier) and outside run_until
+  // — the only states in which engine/fabric mutation (schedule_control,
+  // kill, set_capacity) is legal. False exactly while a parallel phase runs.
+  // Relaxed atomic: the flag is written by the driving thread only; a read
+  // from a worker can only be a contract violation about to abort, and the
+  // atomic keeps that misuse detection itself race-free.
+  [[nodiscard]] bool quiescent() const {
+    return !in_parallel_phase_.load(std::memory_order_relaxed);
+  }
+
  private:
   [[nodiscard]] SimTime next_barrier(SimTime until);
   [[nodiscard]] SimTime widen_target(SimTime t_epoch, SimTime t_cap) const;
   void run_controls_due();
+
+  // Runs `job` over all partitions on the pool with the quiescence flag
+  // dropped for the duration (see quiescent()).
+  void run_parallel_phase(const std::function<void(std::size_t)>& job);
 
   std::size_t node_count_;
   std::uint32_t partitions_;
@@ -166,8 +193,9 @@ class ShardedEngine {
   WorkerPool pool_;
   PartitionBridge* bridge_ = nullptr;
   SimTime now_ = SimTime::zero();
+  std::atomic<bool> in_parallel_phase_{false};
   // Ordered; equal keys preserve insertion order (multimap inserts at the
-  // upper bound of the equal range).
+  // upper bound of the equal range). Driving thread only, between phases.
   std::multimap<SimTime, std::function<void()>> control_;
   std::vector<std::uint32_t> placement_;  // empty = contiguous blocks
   std::size_t block_base_ = 0;            // nodes per partition block

@@ -13,6 +13,16 @@
 #include "gossip/window_ring.hpp"
 #include "net/buffer.hpp"
 
+// Test-local hash support: src/ deliberately defines no std::hash for the id
+// types (hash containers are banned there), but the equivalence model below
+// is exactly a hash container.
+template <>
+struct std::hash<hg::EventId> {
+  std::size_t operator()(hg::EventId id) const noexcept {
+    return static_cast<std::size_t>(id.raw() * 0x9e3779b97f4a7c15ULL);  // Fibonacci hash
+  }
+};
+
 namespace hg::gossip {
 namespace {
 

@@ -1,0 +1,10 @@
+// Fixture: a justified allow-comment must silence the rule it names — on the
+// same line and from the preceding line.
+#include <cstdint>
+#include <unordered_map>  // hg-lint: allow(unordered-container) header for the allowed decls below
+
+struct DebugIndex {
+  // hg-lint: allow(unordered-container) debug-only index, never iterated
+  std::unordered_map<std::uint32_t, int> by_id;
+  std::unordered_map<std::uint32_t, int> by_tag;  // hg-lint: allow(unordered-container) lookup only, never iterated
+};

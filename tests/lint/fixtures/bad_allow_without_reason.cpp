@@ -1,0 +1,7 @@
+// Fixture: an allow-comment without a justification is itself a finding
+// (`bad-allow`), and the underlying rule still fires.
+#include <cstdint>
+#include <unordered_map>
+
+// hg-lint: allow(unordered-container)
+std::unordered_map<std::uint32_t, int> table;

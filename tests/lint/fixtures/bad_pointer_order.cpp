@@ -1,0 +1,15 @@
+// Fixture: ordering by address must trip `pointer-order`.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node {
+  int id;
+};
+
+std::set<Node*, std::less<Node*>> by_address;  // finding expected here
+
+bool before(const Node* a, const Node* b) {
+  return reinterpret_cast<std::uintptr_t>(a) < reinterpret_cast<std::uintptr_t>(b);  // finding
+}

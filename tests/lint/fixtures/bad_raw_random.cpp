@@ -1,0 +1,13 @@
+// Fixture: randomness outside common/rng.hpp must trip `raw-random`.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;                       // finding expected here
+  std::mt19937 gen(rd());                      // finding expected here
+  return static_cast<int>(gen() % 6) + 1;
+}
+
+int roll_libc() {
+  return rand() % 6 + 1;  // finding expected here
+}

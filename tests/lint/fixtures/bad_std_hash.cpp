@@ -1,0 +1,7 @@
+// Fixture: deriving values from std::hash must trip `std-hash`.
+#include <cstddef>
+#include <string>
+
+std::size_t bucket_of(const std::string& key, std::size_t buckets) {
+  return std::hash<std::string>{}(key) % buckets;  // finding expected here
+}

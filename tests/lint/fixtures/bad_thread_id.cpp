@@ -1,0 +1,7 @@
+// Fixture: thread-identity-dependent logic must trip `thread-id`.
+#include <cstddef>
+#include <thread>
+
+bool is_main_thread(std::thread::id main_id) {
+  return std::this_thread::get_id() == main_id;  // finding expected here
+}

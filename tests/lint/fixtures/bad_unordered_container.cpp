@@ -1,0 +1,7 @@
+// Fixture: declaring a hash container must trip `unordered-container`.
+#include <cstdint>
+#include <unordered_map>
+
+struct PeerTable {
+  std::unordered_map<std::uint32_t, int> peers;  // finding expected here
+};

@@ -1,0 +1,15 @@
+// Fixture: iterating a hash container must trip `unordered-iteration`
+// (alongside the declaration findings), pointing at the loop itself.
+#include <cstdint>
+#include <unordered_set>  // hg-lint: allow(unordered-container) fixture isolates the iteration rule
+
+// hg-lint: allow(unordered-container) fixture isolates the iteration rule
+std::unordered_set<std::uint32_t> live_ids;
+
+int count_even() {
+  int n = 0;
+  for (std::uint32_t id : live_ids) {  // finding expected here
+    if (id % 2 == 0) ++n;
+  }
+  return n;
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads must trip `wall-clock`.
+#include <chrono>
+#include <ctime>
+
+long stamp_ms() {
+  const auto t = std::chrono::steady_clock::now();  // finding expected here
+  return std::chrono::duration_cast<std::chrono::milliseconds>(t.time_since_epoch()).count();
+}
+
+long stamp_s() {
+  return static_cast<long>(std::time(nullptr));  // finding expected here
+}

@@ -1,0 +1,18 @@
+// Fixture: deterministic code passes with zero findings. Mentions of banned
+// constructs in comments ("unordered_map", rand(), steady_clock) and string
+// literals must not trip anything, and deterministic look-alikes
+// (next_time(), sorted containers, sim time) are fine.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+const char* kHelp = "do not use rand() or steady_clock here";
+
+struct Queue {
+  std::map<std::uint64_t, int> by_key;  // ordered: iteration is deterministic
+  std::vector<std::uint64_t> times;
+
+  std::uint64_t next_time() const { return times.empty() ? 0 : times.front(); }
+};
+
+std::uint64_t probe(Queue& q) { return q.next_time(); }

@@ -1,0 +1,28 @@
+// Fixture: under clang -Wthread-safety -Werror this file MUST NOT compile.
+// It touches HG_GUARDED_BY state without holding the guarding mutex — the
+// exact bug class the annotations in src/sim/parallel.hpp exist to catch.
+// Not part of any build target; compiled by thread_safety_compile_test.py.
+#include <cstdint>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+class Counter {
+ public:
+  void bump_locked() {
+    hg::sync::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG: reads value_ without mu_ — clang must reject this translation unit.
+  std::uint64_t read_unlocked() const { return value_; }
+
+ private:
+  mutable hg::sync::Mutex mu_;
+  std::uint64_t value_ HG_GUARDED_BY(mu_) = 0;
+};
+
+std::uint64_t poke(Counter& c) {
+  c.bump_locked();
+  return c.read_unlocked();
+}

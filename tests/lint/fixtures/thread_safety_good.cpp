@@ -1,0 +1,34 @@
+// Fixture: the disciplined twin of thread_safety_bad.cpp — every access to
+// guarded state holds the mutex (scoped lock or HG_REQUIRES), so it MUST
+// compile cleanly under clang -Wthread-safety -Werror. Proves the wrappers in
+// common/sync.hpp and the macros in common/thread_annotations.hpp analyze as
+// intended (a broken macro set would pass the bad fixture, not fail it).
+// Not part of any build target; compiled by thread_safety_compile_test.py.
+#include <cstdint>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
+class Counter {
+ public:
+  void bump_locked() {
+    hg::sync::MutexLock lock(mu_);
+    bump_unlocked();
+  }
+
+  std::uint64_t read_locked() const {
+    hg::sync::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void bump_unlocked() HG_REQUIRES(mu_) { ++value_; }
+
+  mutable hg::sync::Mutex mu_;
+  std::uint64_t value_ HG_GUARDED_BY(mu_) = 0;
+};
+
+std::uint64_t poke(Counter& c) {
+  c.bump_locked();
+  return c.read_locked();
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/lint_determinism.py.
+
+Every linter rule has a known-bad fixture that must trip it (with the right
+file:line), an allow-comment fixture that must pass, and a clean fixture that
+must produce zero findings — so a regression in the linter itself (a rule
+silently stops matching, the comment stripper eats code, the escape hatch
+stops working) fails here before it lets nondeterminism back into src/.
+
+Runs under plain `unittest` (no third-party deps) and under pytest unchanged:
+
+    python3 tests/lint/lint_determinism_test.py   # or: pytest tests/lint/
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+LINTER = REPO / "scripts" / "lint_determinism.py"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_linter(*paths):
+    return subprocess.run(
+        [sys.executable, str(LINTER), *[str(p) for p in paths]],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class RuleFixtures(unittest.TestCase):
+    """Each bad fixture trips exactly the expected rules at expected lines."""
+
+    # fixture -> list of (rule, line) that MUST appear in the output.
+    EXPECTED = {
+        "bad_unordered_container.cpp": [("unordered-container", 3),
+                                        ("unordered-container", 6)],
+        "bad_unordered_iteration.cpp": [("unordered-iteration", 11)],
+        "bad_std_hash.cpp": [("std-hash", 6)],
+        "bad_pointer_order.cpp": [("pointer-order", 11), ("pointer-order", 14)],
+        "bad_wall_clock.cpp": [("wall-clock", 6), ("wall-clock", 11)],
+        "bad_raw_random.cpp": [("raw-random", 6), ("raw-random", 7), ("raw-random", 12)],
+        "bad_thread_id.cpp": [("thread-id", 6)],
+        "bad_allow_without_reason.cpp": [("bad-allow", 6),
+                                         ("unordered-container", 4),
+                                         ("unordered-container", 7)],
+    }
+
+    def test_every_rule_has_a_fixture(self):
+        listed = run_linter("--list-rules").stdout.split()
+        covered = {rule for findings in self.EXPECTED.values() for rule, _ in findings}
+        self.assertEqual(sorted(set(listed) - covered), [],
+                         "linter rule without a bad fixture — add one here")
+
+    def test_bad_fixtures_trip(self):
+        for fixture, findings in self.EXPECTED.items():
+            with self.subTest(fixture=fixture):
+                result = run_linter(FIXTURES / fixture)
+                self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+                for rule, line in findings:
+                    needle = f"{fixture}:{line}: [{rule}]"
+                    self.assertIn(needle, result.stdout,
+                                  f"expected '{needle}' in:\n{result.stdout}")
+
+    def test_bad_fixtures_report_nothing_unexpected(self):
+        for fixture, findings in self.EXPECTED.items():
+            with self.subTest(fixture=fixture):
+                result = run_linter(FIXTURES / fixture)
+                reported = [l for l in result.stdout.splitlines() if ": [" in l]
+                self.assertEqual(len(reported), len(findings),
+                                 f"extra/missing findings:\n{result.stdout}")
+
+
+class EscapeHatch(unittest.TestCase):
+    def test_allow_comment_silences_rule(self):
+        result = run_linter(FIXTURES / "allowed_unordered.cpp")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_allow_without_reason_is_a_finding(self):
+        result = run_linter(FIXTURES / "bad_allow_without_reason.cpp")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("[bad-allow]", result.stdout)
+
+    def test_unknown_rule_in_allow_is_a_finding(self):
+        bad = FIXTURES / "clean.cpp"
+        text = bad.read_text() + "// hg-lint: allow(no-such-rule) bogus\nint x;\n"
+        tmp = FIXTURES / "tmp_unknown_allow.cpp"
+        tmp.write_text(text)
+        try:
+            result = run_linter(tmp)
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("unknown rule", result.stdout)
+        finally:
+            tmp.unlink()
+
+
+class CleanPaths(unittest.TestCase):
+    def test_clean_fixture_passes(self):
+        result = run_linter(FIXTURES / "clean.cpp")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_src_tree_is_clean(self):
+        """The real contract: the production tree has zero findings and zero
+        allow-comments (see ISSUE/README — allows need a documented reason)."""
+        result = run_linter(REPO / "src")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_src_tree_has_no_allow_comments(self):
+        allows = [
+            f"{f}: {line.strip()}"
+            for f in sorted((REPO / "src").rglob("*"))
+            if f.suffix in {".hpp", ".cpp"}
+            for line in f.read_text().splitlines()
+            if "hg-lint: allow" in line
+        ]
+        self.assertEqual(allows, [],
+                         "src/ is expected to need no escape hatches; justify any "
+                         "new one in README 'Correctness tooling' as well")
+
+    def test_missing_path_is_usage_error(self):
+        result = run_linter(REPO / "no" / "such" / "dir")
+        self.assertEqual(result.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

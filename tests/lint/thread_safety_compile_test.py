@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Death-style compile check for the clang thread-safety annotation layer.
+
+Two fixtures bracket the analysis: thread_safety_bad.cpp accesses
+HG_GUARDED_BY state without its mutex and MUST fail to compile under
+`clang -Wthread-safety -Werror`; thread_safety_good.cpp does the same work
+with proper locking and MUST compile cleanly. Together they prove the macros
+in src/common/thread_annotations.hpp and the wrappers in src/common/sync.hpp
+are live — a silently broken macro (e.g. the no-op fallback leaking into
+clang builds) would let the bad fixture compile and fail here.
+
+Needs a clang++ on PATH; skips (cleanly, with a message) when there is none,
+e.g. on the gcc-only dev container. CI's clang job always runs it for real.
+
+    python3 tests/lint/thread_safety_compile_test.py   # or: pytest tests/lint/
+"""
+
+import shutil
+import subprocess
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+CLANG_CANDIDATES = ["clang++", "clang++-18", "clang++-17", "clang++-16",
+                    "clang++-15", "clang++-14"]
+
+
+def find_clang():
+    for name in CLANG_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_fixture(clang, fixture):
+    return subprocess.run(
+        [clang, "-fsyntax-only", "-std=c++17", "-Wthread-safety", "-Werror",
+         "-I", str(REPO / "src"), str(fixture)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+@unittest.skipIf(find_clang() is None,
+                 "no clang++ on PATH; thread-safety analysis is clang-only "
+                 "(CI's clang job runs this for real)")
+class ThreadSafetyCompile(unittest.TestCase):
+    def setUp(self):
+        self.clang = find_clang()
+
+    def test_bad_fixture_fails_to_compile(self):
+        result = compile_fixture(self.clang, FIXTURES / "thread_safety_bad.cpp")
+        self.assertNotEqual(
+            result.returncode, 0,
+            "unlocked access to HG_GUARDED_BY state compiled — the "
+            "annotation macros are not reaching clang")
+        self.assertIn("-Wthread-safety", result.stderr,
+                      f"failed for an unrelated reason:\n{result.stderr}")
+
+    def test_good_fixture_compiles_clean(self):
+        result = compile_fixture(self.clang, FIXTURES / "thread_safety_good.cpp")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_annotated_headers_compile_clean(self):
+        """The real annotated headers must themselves be -Wthread-safety clean."""
+        for header in ["sim/parallel.hpp", "common/sync.hpp"]:
+            with self.subTest(header=header):
+                result = subprocess.run(
+                    [self.clang, "-fsyntax-only", "-x", "c++", "-std=c++17",
+                     "-Wthread-safety", "-Werror", "-I", str(REPO / "src"),
+                     str(REPO / "src" / header)],
+                    capture_output=True, text=True, check=False)
+                self.assertEqual(result.returncode, 0, result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
