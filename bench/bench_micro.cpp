@@ -10,6 +10,8 @@
 
 #include "aggregation/freshness_aggregator.hpp"
 #include "common/rng.hpp"
+#include "fec/gf256.hpp"
+#include "fec/reed_solomon.hpp"
 #include "fec/window_codec.hpp"
 #include "gossip/messages.hpp"
 #include "gossip/window_ring.hpp"
@@ -30,6 +32,73 @@ struct std::hash<hg::EventId> {
 namespace {
 
 using namespace hg;
+
+// GF(256) slice kernels: the scalar log/exp loop vs the runtime-dispatched
+// split-nibble SIMD path (PSHUFB / NEON TBL). Identical bytes by contract
+// (gf256_test.cpp proves it); this row tracks the speedup.
+void BM_Gf256MulAddScalar(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(len, 0), src(len);
+  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  std::uint8_t coeff = 1;
+  for (auto _ : state) {
+    fec::GF256::mul_add_slice_scalar(dst.data(), src.data(), len, coeff);
+    coeff = static_cast<std::uint8_t>(coeff + 2);  // odd: never the 0 fast path
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Gf256MulAddScalar)->Arg(64)->Arg(1316);
+
+void BM_Gf256MulAddSimd(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(len, 0), src(len);
+  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  std::uint8_t coeff = 1;
+  state.SetLabel(fec::GF256::simd_level_name());
+  for (auto _ : state) {
+    fec::GF256::mul_add_slice(dst.data(), src.data(), len, coeff);
+    coeff = static_cast<std::uint8_t>(coeff + 2);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Gf256MulAddSimd)->Arg(64)->Arg(1316);
+
+// Raw ReedSolomon decode at the paper window: the all-data fast path (pure
+// validation + copy) vs an m-erasure repair (Gaussian elimination on the
+// k x k subsystem plus reconstruction mul_adds).
+void run_rs_decode(benchmark::State& state, std::size_t erasures) {
+  const std::size_t k = 101, m = 9;
+  fec::ReedSolomon rs(k, m);
+  Rng rng(17);
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(1316));
+  for (auto& p : data) {
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.below(256));
+  }
+  auto parity = rs.encode(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(k + m);
+  for (std::size_t i = 0; i < k; ++i) shards[i] = data[i];
+  for (std::size_t i = 0; i < m; ++i) shards[k + i] = parity[i];
+  std::vector<std::uint32_t> drop;
+  rng.sample_indices(k, erasures, drop);  // erase data shards (worst case)
+  for (auto d : drop) shards[d].reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(shards));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * 1316));
+}
+
+void BM_RsDecodeAllData(benchmark::State& state) { run_rs_decode(state, 0); }
+BENCHMARK(BM_RsDecodeAllData);
+
+void BM_RsDecodeErasure(benchmark::State& state) {
+  run_rs_decode(state, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_RsDecodeErasure)->Arg(1)->Arg(9);
 
 void BM_FecEncodeWindow(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));

@@ -47,6 +47,7 @@
 #include "scenario/report.hpp"
 #include "scenario/sweep_runner.hpp"
 #include "sim/simulator.hpp"
+#include "stream/fec_module.hpp"
 #include "stream/lag_analyzer.hpp"
 #include "stream/player.hpp"
 #include "stream/player_module.hpp"

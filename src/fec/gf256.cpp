@@ -50,14 +50,17 @@ std::uint8_t GF256::pow(std::uint8_t a, unsigned power) {
   if (power == 0) return 1;
   if (a == 0) return 0;
   const Tables& t = tables();
-  const unsigned e = (static_cast<unsigned>(t.log[a]) * power) % 255;
+  // Reduce the exponent mod 255 (the multiplicative group order) before the
+  // multiply: log[a] * power can exceed 2^32 for power > ~16.9M, and wrapping
+  // mod 2^32 first is not congruent mod 255.
+  const unsigned e = (static_cast<unsigned>(t.log[a]) * (power % 255u)) % 255u;
   return t.exp[e];
 }
 
 std::uint8_t GF256::exp(unsigned power) { return tables().exp[power % 255]; }
 
-void GF256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
-                          std::uint8_t coeff) {
+void GF256::mul_add_slice_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                                 std::uint8_t coeff) {
   if (coeff == 0) return;
   if (coeff == 1) {
     for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
@@ -71,7 +74,7 @@ void GF256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_
   }
 }
 
-void GF256::scale_slice(std::uint8_t* dst, std::size_t n, std::uint8_t coeff) {
+void GF256::scale_slice_scalar(std::uint8_t* dst, std::size_t n, std::uint8_t coeff) {
   if (coeff == 1) return;
   if (coeff == 0) {
     for (std::size_t i = 0; i < n; ++i) dst[i] = 0;

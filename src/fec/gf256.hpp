@@ -1,7 +1,12 @@
 // Arithmetic over GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b).
 //
-// Log/antilog tables make multiply/divide O(1); mul_slice is the bulk
-// operation the Reed-Solomon coder spends its time in.
+// Log/antilog tables make multiply/divide O(1); mul_add_slice is the bulk
+// operation the Reed-Solomon coder spends its time in. The slice kernels
+// are runtime-dispatched: on x86 with SSSE3 (or aarch64 with NEON) they use
+// split-nibble table lookups (two 16-entry tables per coefficient, combined
+// with PSHUFB/TBL), falling back to the scalar log/exp loop elsewhere. Both
+// paths are bit-identical — GF(256) arithmetic is exact, so the dispatch
+// never affects simulation results, only throughput.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +16,7 @@ namespace hg::fec {
 
 class GF256 {
  public:
+  enum class SimdLevel : std::uint8_t { kScalar, kSsse3, kNeon };
   [[nodiscard]] static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
     return a ^ b;  // characteristic 2: addition == subtraction == XOR
   }
@@ -24,10 +30,22 @@ class GF256 {
   [[nodiscard]] static std::uint8_t exp(unsigned power);
 
   // dst[i] ^= coeff * src[i] — the row operation of encode and decode.
+  // Dispatches to the best slice kernel for this machine on first use.
   static void mul_add_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                             std::uint8_t coeff);
   // dst[i] = coeff * dst[i]
   static void scale_slice(std::uint8_t* dst, std::size_t n, std::uint8_t coeff);
+
+  // The portable log/exp loops behind the dispatched kernels. Public so
+  // tests and benches can pin the scalar path and compare it byte-for-byte
+  // against whatever simd_level() selected.
+  static void mul_add_slice_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                                   std::uint8_t coeff);
+  static void scale_slice_scalar(std::uint8_t* dst, std::size_t n, std::uint8_t coeff);
+
+  // Which slice kernel the dispatcher selected for this process.
+  [[nodiscard]] static SimdLevel simd_level();
+  [[nodiscard]] static const char* simd_level_name();
 
  private:
   struct Tables {

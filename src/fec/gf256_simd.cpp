@@ -1,0 +1,185 @@
+// Runtime-dispatched SIMD kernels for the GF(256) slice operations.
+//
+// Technique: split-nibble table lookup. For a fixed coefficient c, build two
+// 16-entry tables lo[x] = c*x and hi[x] = c*(x<<4); then for any byte
+// s = (h<<4)|l, c*s = lo[l] ^ hi[h] by linearity of GF(2^8) multiplication
+// over XOR. PSHUFB (SSSE3) and TBL (NEON) perform sixteen such lookups per
+// instruction, so one window-sized mul_add touches each byte with ~6 vector
+// ops instead of two scalar table loads and a branch.
+//
+// The scalar fallback in gf256.cpp computes the exact same field elements —
+// dispatch changes throughput only, never bytes. Selection happens once per
+// process from CPU capability (not configuration), so results stay identical
+// across machines with and without the fast path.
+#include "fec/gf256.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HG_GF256_HAVE_SSSE3_KERNEL 1
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#include <arm_neon.h>
+#define HG_GF256_HAVE_NEON_KERNEL 1
+#endif
+
+namespace hg::fec {
+namespace {
+
+// 2 x 16-entry product tables for one coefficient (see file comment).
+struct NibbleTables {
+  std::uint8_t lo[16];
+  std::uint8_t hi[16];
+};
+
+NibbleTables make_nibble_tables(std::uint8_t coeff) {
+  NibbleTables t{};
+  for (unsigned x = 0; x < 16; ++x) {
+    t.lo[x] = GF256::mul(coeff, static_cast<std::uint8_t>(x));
+    t.hi[x] = GF256::mul(coeff, static_cast<std::uint8_t>(x << 4));
+  }
+  return t;
+}
+
+#if HG_GF256_HAVE_SSSE3_KERNEL
+
+__attribute__((target("ssse3"))) void mul_add_slice_ssse3(std::uint8_t* dst,
+                                                          const std::uint8_t* src, std::size_t n,
+                                                          std::uint8_t coeff) {
+  if (coeff == 0) return;
+  const NibbleTables t = make_nibble_tables(coeff);
+  const __m128i tlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i thi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(s, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, prod));
+  }
+  if (i < n) GF256::mul_add_slice_scalar(dst + i, src + i, n - i, coeff);
+}
+
+__attribute__((target("ssse3"))) void scale_slice_ssse3(std::uint8_t* dst, std::size_t n,
+                                                        std::uint8_t coeff) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const NibbleTables t = make_nibble_tables(coeff);
+  const __m128i tlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i thi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i lo = _mm_and_si128(s, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+    const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), prod);
+  }
+  if (i < n) GF256::scale_slice_scalar(dst + i, n - i, coeff);
+}
+
+bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
+
+#endif  // HG_GF256_HAVE_SSSE3_KERNEL
+
+#if HG_GF256_HAVE_NEON_KERNEL
+
+void mul_add_slice_neon(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                        std::uint8_t coeff) {
+  if (coeff == 0) return;
+  const NibbleTables t = make_nibble_tables(coeff);
+  const uint8x16_t tlo = vld1q_u8(t.lo);
+  const uint8x16_t thi = vld1q_u8(t.hi);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    const uint8x16_t lo = vandq_u8(s, mask);
+    const uint8x16_t hi = vshrq_n_u8(s, 4);
+    const uint8x16_t prod = veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), prod));
+  }
+  if (i < n) GF256::mul_add_slice_scalar(dst + i, src + i, n - i, coeff);
+}
+
+void scale_slice_neon(std::uint8_t* dst, std::size_t n, std::uint8_t coeff) {
+  if (coeff == 1) return;
+  if (coeff == 0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  const NibbleTables t = make_nibble_tables(coeff);
+  const uint8x16_t tlo = vld1q_u8(t.lo);
+  const uint8x16_t thi = vld1q_u8(t.hi);
+  const uint8x16_t mask = vdupq_n_u8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(dst + i);
+    const uint8x16_t lo = vandq_u8(s, mask);
+    const uint8x16_t hi = vshrq_n_u8(s, 4);
+    vst1q_u8(dst + i, veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi)));
+  }
+  if (i < n) GF256::scale_slice_scalar(dst + i, n - i, coeff);
+}
+
+#endif  // HG_GF256_HAVE_NEON_KERNEL
+
+using MulAddFn = void (*)(std::uint8_t*, const std::uint8_t*, std::size_t, std::uint8_t);
+using ScaleFn = void (*)(std::uint8_t*, std::size_t, std::uint8_t);
+
+struct Kernels {
+  MulAddFn mul_add;
+  ScaleFn scale;
+  GF256::SimdLevel level;
+};
+
+Kernels pick_kernels() {
+#if HG_GF256_HAVE_NEON_KERNEL
+  return {&mul_add_slice_neon, &scale_slice_neon, GF256::SimdLevel::kNeon};
+#else
+#if HG_GF256_HAVE_SSSE3_KERNEL
+  if (cpu_has_ssse3()) {
+    return {&mul_add_slice_ssse3, &scale_slice_ssse3, GF256::SimdLevel::kSsse3};
+  }
+#endif
+  return {&GF256::mul_add_slice_scalar, &GF256::scale_slice_scalar, GF256::SimdLevel::kScalar};
+#endif
+}
+
+const Kernels& kernels() {
+  static const Kernels k = pick_kernels();
+  return k;
+}
+
+}  // namespace
+
+void GF256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                          std::uint8_t coeff) {
+  kernels().mul_add(dst, src, n, coeff);
+}
+
+void GF256::scale_slice(std::uint8_t* dst, std::size_t n, std::uint8_t coeff) {
+  kernels().scale(dst, n, coeff);
+}
+
+GF256::SimdLevel GF256::simd_level() { return kernels().level; }
+
+const char* GF256::simd_level_name() {
+  switch (simd_level()) {
+    case SimdLevel::kSsse3:
+      return "ssse3";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace hg::fec

@@ -6,7 +6,10 @@
 namespace hg::fec {
 
 ReedSolomon::ReedSolomon(std::size_t k, std::size_t m) : k_(k), m_(m) {
-  HG_ASSERT(k >= 1 && m >= 1);
+  // m == 0 is the degenerate parity-free code: encode() returns no shards
+  // and decode() only succeeds when every data shard is present. WindowCodec
+  // relies on it for the retransmission-only ablation arm.
+  HG_ASSERT(k >= 1);
   HG_ASSERT_MSG(k + m <= 255, "GF(256) supports at most 255 shards");
   // E = V * inverse(V_top): top k rows become the identity while every
   // k-row subset stays invertible (right-multiplication by an invertible
@@ -43,6 +46,21 @@ std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
     std::span<const std::optional<std::vector<std::uint8_t>>> shards) const {
   HG_ASSERT(shards.size() == k_ + m_);
 
+  // Shards come off the wire, so treat malformed input as undecodable, not
+  // as a programming error: every present shard — whether it feeds the fast
+  // path, the elimination, or is merely carried along — must agree on length.
+  std::size_t shard_len = 0;
+  bool saw_present = false;
+  for (const auto& s : shards) {
+    if (!s.has_value()) continue;
+    if (!saw_present) {
+      shard_len = s->size();
+      saw_present = true;
+    } else if (s->size() != shard_len) {
+      return std::nullopt;
+    }
+  }
+
   // Fast path: all data shards present.
   bool all_data = true;
   for (std::size_t i = 0; i < k_; ++i) {
@@ -66,15 +84,6 @@ std::optional<std::vector<std::vector<std::uint8_t>>> ReedSolomon::decode(
     if (shards[i].has_value()) rows.push_back(i);
   }
   if (rows.size() < k_) return std::nullopt;
-
-  std::size_t shard_len = 0;
-  for (const auto& s : shards) {
-    if (s.has_value()) {
-      shard_len = s->size();
-      break;
-    }
-  }
-  for (const auto& r : rows) HG_ASSERT(shards[r]->size() == shard_len);
 
   const Matrix sub = enc_.select_rows(rows);
   const Matrix inv = sub.inverted();

@@ -4,10 +4,19 @@
 
 namespace hg::fec {
 
-WindowCodec::WindowCodec(WindowCodecConfig config)
-    : config_(config), rs_(config.data_per_window, config.parity_per_window) {
-  HG_ASSERT(config.packet_bytes > 0);
+WindowCodecConfig WindowCodec::validated(WindowCodecConfig config) {
+  // Validate here, before the ReedSolomon member is built: a bad config must
+  // fail with a message naming the codec contract, not an assert deep inside
+  // the Vandermonde construction.
+  HG_ASSERT_MSG(config.data_per_window >= 1, "window needs at least one data packet");
+  HG_ASSERT_MSG(config.data_per_window + config.parity_per_window <= 255,
+                "GF(256) windows hold at most 255 packets");
+  HG_ASSERT_MSG(config.packet_bytes > 0, "packet_bytes must be positive");
+  return config;
 }
+
+WindowCodec::WindowCodec(WindowCodecConfig config)
+    : config_(validated(config)), rs_(config.data_per_window, config.parity_per_window) {}
 
 std::vector<std::vector<std::uint8_t>> WindowCodec::encode_window(
     std::span<const std::vector<std::uint8_t>> data_packets) const {

@@ -40,12 +40,24 @@ class WindowCodec {
   [[nodiscard]] std::optional<std::vector<std::vector<std::uint8_t>>> decode_window(
       std::span<const std::optional<std::vector<std::uint8_t>>> received) const;
 
-  // Decodability is purely a counting property for an MDS code.
+  // Decodability is purely a counting property for an MDS code: any
+  // data_per_window of the window's packets suffice. The count is clamped to
+  // the window size so the degenerate parity == 0 codec (window_packets ==
+  // data_per_window, nothing repairable) cannot be declared decodable by an
+  // upstream overcount — it needs every packet, and no count above the window
+  // size is meaningful.
   [[nodiscard]] bool decodable(std::size_t packets_received) const {
-    return packets_received >= config_.data_per_window;
+    const std::size_t clamped =
+        packets_received < window_packets() ? packets_received : window_packets();
+    return clamped >= config_.data_per_window;
   }
 
  private:
+  // Asserts the config invariants (data >= 1, data + parity <= 255,
+  // packet_bytes > 0); returns the config unchanged so it can run before
+  // rs_ is constructed.
+  static WindowCodecConfig validated(WindowCodecConfig config);
+
   WindowCodecConfig config_;
   ReedSolomon rs_;
 };

@@ -66,11 +66,16 @@ class RetransmitTracker {
   }
 
   // Drop all state for a window (e.g., window decoded): cancel every timer,
-  // then release the window's slab.
-  void cancel_window(std::uint32_t window) {
-    pending_.for_each_in_window(window,
-                                [](std::uint32_t, PendingEntry& e) { e.handle.cancel(); });
+  // then release the window's slab. Returns the number of armed timers
+  // killed — the "serves this cancel saved" quantity the gossip stats track.
+  std::size_t cancel_window(std::uint32_t window) {
+    std::size_t killed = 0;
+    pending_.for_each_in_window(window, [&killed](std::uint32_t, PendingEntry& e) {
+      e.handle.cancel();
+      ++killed;
+    });
     pending_.clear_window(window);
+    return killed;
   }
 
   // Garbage collection: windows below `cutoff` leave the id domain — their

@@ -276,6 +276,7 @@ void ThreePhaseGossip::on_retransmit_fire(EventId id, int retry_count) {
 }
 
 void ThreePhaseGossip::cancel_window_requests(std::uint32_t window) {
+  if (requested_.cancelled(window)) return;  // idempotent: repeat cancels are no-ops
   requested_.set_cancelled(window);
   // The window's request-side state is dead from here on: the cancelled
   // flag blocks every future request (and proposer recording) for it, so
@@ -284,7 +285,8 @@ void ThreePhaseGossip::cancel_window_requests(std::uint32_t window) {
   // packets whose proposer lists would otherwise linger.
   requested_.clear_window(window);
   proposers_.clear_window(window);
-  retransmit_.cancel_window(window);
+  stats_.timers_cancelled_by_window += retransmit_.cancel_window(window);
+  ++stats_.windows_cancelled;
 }
 
 void ThreePhaseGossip::gc(std::uint32_t newest_window) {

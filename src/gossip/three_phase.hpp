@@ -84,6 +84,8 @@ class ThreePhaseGossip {
     std::uint64_t declined_requests = 0;   // vetoed by should_request
     std::uint64_t unknown_requests = 0;    // asked for events we lack
     std::uint64_t malformed = 0;           // undecodable datagrams + out-of-domain ids
+    std::uint64_t windows_cancelled = 0;   // cancel commands honored (decode-on-k)
+    std::uint64_t timers_cancelled_by_window = 0;  // retransmit timers those cancels killed
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const RetransmitTracker::Stats& retransmit_stats() const {

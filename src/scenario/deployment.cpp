@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "stream/fec_module.hpp"
 #include "stream/player_module.hpp"
 
 namespace hg::scenario {
@@ -191,6 +192,14 @@ std::unique_ptr<Deployment> Deployment::Builder::build() const {
     // Signal-bus glue: deliveries -> player, request budget -> gate, window
     // cancellation -> the gossip module's subscription.
     r.node->emplace_module<stream::PlayerModule>(*r.player);
+    if (stream_.stream.real_payloads) {
+      // Real bytes on the wire: mount the online decoder so windows are
+      // reconstructed (erasures repaired from parity) the moment any k of n
+      // packets arrive. Sized/virtual runs mount nothing — decodability is
+      // pure counting there, and the stack stays bit-identical to before
+      // the FEC layer existed.
+      r.node->emplace_module<stream::FecModule>(stream_.stream, stream_.windows);
+    }
     r.node->attach(r.info.actual_capacity);
     d->receivers_.push_back(std::move(r));
   }

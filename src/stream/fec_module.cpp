@@ -1,0 +1,65 @@
+#include "stream/fec_module.hpp"
+
+#include "common/assert.hpp"
+
+namespace hg::stream {
+
+FecModule::FecModule(core::NodeRuntime& runtime, StreamConfig config, std::uint32_t windows_total)
+    : config_(config),
+      codec_(fec::WindowCodecConfig{.data_per_window = config.data_per_window,
+                                    .parity_per_window = config.parity_per_window,
+                                    .packet_bytes = config.packet_bytes}),
+      windows_(windows_total) {
+  HG_ASSERT_MSG(config.real_payloads, "FecModule needs payload bytes; mount it only in "
+                                      "real-payload deployments");
+  deliver_sub_ =
+      runtime.deliveries().subscribe([this](const gossip::Event& e) { on_deliver(e); });
+}
+
+void FecModule::on_deliver(const gossip::Event& event) {
+  const gossip::EventId id = event.id;
+  if (id.window() >= windows_.size()) return;
+  if (id.index() >= codec_.window_packets()) return;
+  WindowState& ws = windows_[id.window()];
+  if (ws.decoded) return;
+  // The payload came off the wire: wrong-sized bytes cannot be a shard of
+  // this window, so drop them here rather than poisoning the shard set.
+  if (event.payload.size() != config_.packet_bytes) {
+    ++stats_.malformed_packets;
+    return;
+  }
+  if (ws.shards.empty()) ws.shards.resize(codec_.window_packets());
+  auto& slot = ws.shards[id.index()];
+  if (slot.has_value()) return;  // duplicate delivery
+  const auto bytes = event.payload.bytes();
+  slot.emplace(bytes.begin(), bytes.end());
+  ++ws.present;
+  if (codec_.decodable(ws.present)) try_decode(id.window());
+}
+
+void FecModule::try_decode(std::uint32_t w) {
+  WindowState& ws = windows_[w];
+  std::size_t missing_data = 0;
+  for (std::size_t i = 0; i < config_.data_per_window; ++i) {
+    if (!ws.shards[i].has_value()) ++missing_data;
+  }
+  auto decoded = codec_.decode_window(ws.shards);
+  if (!decoded.has_value()) {
+    // Leave the window open: a later arrival changes the shard set and may
+    // decode where this one failed.
+    ++stats_.decode_failures;
+    return;
+  }
+  ws.decoded = true;
+  ++stats_.windows_decoded;
+  if (missing_data == 0) {
+    ++stats_.windows_complete;
+  } else {
+    stats_.erasures_repaired += missing_data;
+  }
+  if (sink_) sink_(w, *decoded);
+  ws.shards.clear();
+  ws.shards.shrink_to_fit();
+}
+
+}  // namespace hg::stream

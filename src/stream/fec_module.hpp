@@ -1,0 +1,78 @@
+// Online FEC decoding as a protocol-stack member.
+//
+// PlayerModule records *when* packets arrive; FecModule reconstructs *what*
+// arrived. It buffers the payload bytes of each window's delivered packets
+// and, the moment any k of the n coded packets are present (the MDS counting
+// rule), runs the Reed-Solomon decode: missing data packets are repaired
+// from parity, the reconstructed window is handed to an optional sink, and
+// the shard buffers are released. Riding the same deliveries() signal as the
+// player means decode happens at exactly the arrival the player stamps as
+// decode_time — and on which, in smart mode, it cancels the window's
+// outstanding requests/retransmit timers via window_cancelled().
+//
+// Only meaningful in real-payload deployments (there are no bytes to decode
+// in sized or virtual runs — decodability there is pure counting, which the
+// player already does); Deployment mounts it on receivers iff
+// StreamConfig::real_payloads is set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/node_runtime.hpp"
+#include "fec/window_codec.hpp"
+#include "stream/packet.hpp"
+
+namespace hg::stream {
+
+class FecModule final : public core::Protocol {
+ public:
+  // Receives each window's k reconstructed data packets, in index order,
+  // immediately after its decode succeeds.
+  using WindowSink =
+      std::function<void(std::uint32_t window, std::span<const std::vector<std::uint8_t>> data)>;
+
+  struct Stats {
+    std::uint64_t windows_decoded = 0;    // windows fully reconstructed
+    std::uint64_t windows_complete = 0;   // of those, needed no repair (all data arrived)
+    std::uint64_t erasures_repaired = 0;  // data packets rebuilt from parity
+    std::uint64_t decode_failures = 0;    // RS rejected the shard set (untrusted wire)
+    std::uint64_t malformed_packets = 0;  // payload size != packet_bytes, dropped
+  };
+
+  FecModule(core::NodeRuntime& runtime, StreamConfig config, std::uint32_t windows_total);
+
+  [[nodiscard]] const char* name() const override { return "fec"; }
+
+  void set_window_sink(WindowSink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool window_decoded(std::uint32_t w) const {
+    return w < windows_.size() && windows_[w].decoded;
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const fec::WindowCodec& codec() const { return codec_; }
+
+ private:
+  struct WindowState {
+    // Lazily sized to window_packets on the window's first arrival, released
+    // after a successful decode — steady state holds only in-flight windows.
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards;
+    std::uint32_t present = 0;
+    bool decoded = false;
+  };
+
+  void on_deliver(const gossip::Event& event);
+  void try_decode(std::uint32_t w);
+
+  StreamConfig config_;
+  fec::WindowCodec codec_;
+  std::vector<WindowState> windows_;
+  Stats stats_;
+  WindowSink sink_;
+  core::Subscription deliver_sub_;
+};
+
+}  // namespace hg::stream

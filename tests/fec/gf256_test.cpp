@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace hg::fec {
 namespace {
 
@@ -31,6 +33,30 @@ TEST(GF256, MulCommutative) {
     for (int b = 0; b < 256; b += 11) {
       EXPECT_EQ(GF256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
                 GF256::mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GF256, AlgebraOverAllPairs) {
+  // Commutativity, distributivity, and division/inverse consistency over the
+  // full 256 x 256 square (the strided tests above keep their historical
+  // role as quick pinpointed failures; this is the exhaustive sweep).
+  for (int ai = 0; ai < 256; ++ai) {
+    const auto a = static_cast<std::uint8_t>(ai);
+    for (int bi = 0; bi < 256; ++bi) {
+      const auto b = static_cast<std::uint8_t>(bi);
+      const std::uint8_t ab = GF256::mul(a, b);
+      ASSERT_EQ(ab, GF256::mul(b, a));
+      // Distributivity a*(b+c) == a*b + a*c for a fixed c-set (a full cube
+      // would be 16M iterations for no extra coverage of the table logic).
+      for (const std::uint8_t c : {std::uint8_t{1}, std::uint8_t{0x53}, std::uint8_t{0xff}}) {
+        ASSERT_EQ(GF256::mul(a, GF256::add(b, c)), GF256::add(ab, GF256::mul(a, c)));
+        ASSERT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+      }
+      if (b != 0) {
+        ASSERT_EQ(GF256::div(ab, b), a);
+        ASSERT_EQ(GF256::mul(b, GF256::inv(b)), 1);
+      }
     }
   }
 }
@@ -93,6 +119,41 @@ TEST(GF256, PowMatchesRepeatedMul) {
   }
 }
 
+TEST(GF256, PowExhaustiveExponents) {
+  // Every base against every exponent in one full group period, checked
+  // against repeated multiplication.
+  for (int ai = 0; ai < 256; ++ai) {
+    const auto a = static_cast<std::uint8_t>(ai);
+    std::uint8_t acc = 1;
+    for (unsigned p = 0; p < 255; ++p) {
+      ASSERT_EQ(GF256::pow(a, p), a == 0 && p > 0 ? 0 : acc) << "a=" << ai << " p=" << p;
+      acc = GF256::mul(acc, a);
+    }
+  }
+}
+
+TEST(GF256, PowHugeExponentRegression) {
+  // Regression for the 32-bit wraparound: log[a] * power used to be computed
+  // in unsigned before the mod-255 reduction, so any power past ~16.9M could
+  // wrap mod 2^32 and land on the wrong field element. a^power must depend
+  // on power only through power mod 255 (the multiplicative group order).
+  const unsigned huge_exponents[] = {
+      16'900'000u,   // first territory where log[a]=254 overflows
+      0x0fff'ffffu,  //
+      0xffff'ff00u,  // near the top of the 32-bit range
+      0xffff'ffffu,  //
+  };
+  for (int ai = 1; ai < 256; ++ai) {
+    const auto a = static_cast<std::uint8_t>(ai);
+    for (const unsigned big : huge_exponents) {
+      ASSERT_EQ(GF256::pow(a, big), GF256::pow(a, big % 255u)) << "a=" << ai << " p=" << big;
+    }
+  }
+  // Zero stays the exception: 0^p == 0 for every positive p, however huge
+  // (0^(255k) must NOT collapse to 0^0 == 1).
+  for (const unsigned big : huge_exponents) EXPECT_EQ(GF256::pow(0, big), 0);
+}
+
 TEST(GF256, GeneratorHasFullOrder) {
   // exp() cycles through all 255 non-zero elements.
   std::vector<bool> seen(256, false);
@@ -133,6 +194,55 @@ TEST(GF256, ScaleSliceMatchesScalar) {
   for (auto& v : expect) v = GF256::mul(v, coeff);
   GF256::scale_slice(dst.data(), dst.size(), coeff);
   EXPECT_EQ(dst, expect);
+}
+
+TEST(GF256, SimdLevelIsNamed) {
+  // Whatever the dispatcher picked must have a printable name; on machines
+  // without SSSE3/NEON the equivalence tests below degenerate to
+  // scalar-vs-scalar, which is fine — they must still pass.
+  EXPECT_STRNE(GF256::simd_level_name(), "");
+  if (GF256::simd_level() == GF256::SimdLevel::kScalar) {
+    EXPECT_STREQ(GF256::simd_level_name(), "scalar");
+  }
+}
+
+TEST(GF256, MulAddSliceSimdMatchesScalarEveryCoeff) {
+  // Randomized slices at awkward lengths (vector body + scalar tail, and
+  // sub-vector-width slices), every coefficient, dispatched-vs-scalar
+  // byte equality. Misaligned views of the same buffers are exercised via
+  // the +1 offset.
+  Rng rng(0xf3c5);
+  for (const std::size_t len : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                                std::size_t{17}, std::size_t{100}, std::size_t{1316}}) {
+    std::vector<std::uint8_t> src(len + 1), base(len + 1);
+    for (auto& b : src) b = static_cast<std::uint8_t>(rng.below(256));
+    for (auto& b : base) b = static_cast<std::uint8_t>(rng.below(256));
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<std::uint8_t>(c);
+      std::vector<std::uint8_t> dispatched = base;
+      std::vector<std::uint8_t> scalar = base;
+      GF256::mul_add_slice(dispatched.data() + 1, src.data() + 1, len, coeff);
+      GF256::mul_add_slice_scalar(scalar.data() + 1, src.data() + 1, len, coeff);
+      ASSERT_EQ(dispatched, scalar) << "len=" << len << " coeff=" << c;
+    }
+  }
+}
+
+TEST(GF256, ScaleSliceSimdMatchesScalarEveryCoeff) {
+  Rng rng(0xa117);
+  for (const std::size_t len :
+       {std::size_t{1}, std::size_t{16}, std::size_t{33}, std::size_t{1316}}) {
+    std::vector<std::uint8_t> base(len + 1);
+    for (auto& b : base) b = static_cast<std::uint8_t>(rng.below(256));
+    for (int c = 0; c < 256; ++c) {
+      const auto coeff = static_cast<std::uint8_t>(c);
+      std::vector<std::uint8_t> dispatched = base;
+      std::vector<std::uint8_t> scalar = base;
+      GF256::scale_slice(dispatched.data() + 1, len, coeff);
+      GF256::scale_slice_scalar(scalar.data() + 1, len, coeff);
+      ASSERT_EQ(dispatched, scalar) << "len=" << len << " coeff=" << c;
+    }
+  }
 }
 
 }  // namespace

@@ -150,6 +150,94 @@ TEST(ReedSolomon, ManyRandomErasurePatterns) {
   }
 }
 
+TEST(ReedSolomon, DecodeRejectsMixedLengthsOnBothPaths) {
+  // Wire input is untrusted: a wrong-length shard yields nullopt — on the
+  // all-data fast path, on the elimination path, and even when the bad shard
+  // is a carried-along extra that decoding would not otherwise touch.
+  Rng rng(11);
+  ReedSolomon rs(4, 2);
+  auto data = random_shards(4, 16, rng);
+  auto parity = rs.encode(data);
+
+  // Fast path: all data present, one shard short.
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(6);
+  for (std::size_t i = 0; i < 4; ++i) shards[i] = data[i];
+  shards[1]->pop_back();
+  EXPECT_FALSE(rs.decode(shards).has_value());
+
+  // Elimination path: a parity shard feeding reconstruction is long.
+  shards[1] = data[1];
+  shards[0].reset();
+  shards[4] = parity[0];
+  shards[4]->push_back(7);
+  EXPECT_FALSE(rs.decode(shards).has_value());
+
+  // A present-but-unused shard (beyond the first k) still fails the window:
+  // equal length is a property of the whole shard set.
+  shards[4] = parity[0];
+  shards[5] = parity[1];
+  shards[5]->pop_back();
+  EXPECT_FALSE(rs.decode(shards).has_value());
+
+  // Sanity: with lengths restored the same pattern decodes.
+  shards[5] = parity[1];
+  auto out = rs.decode(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+}
+
+TEST(ReedSolomon, ZeroParityIsTheDegenerateIdentityCode) {
+  Rng rng(12);
+  ReedSolomon rs(5, 0);
+  auto data = random_shards(5, 8, rng);
+  EXPECT_TRUE(rs.encode(data).empty());
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(5);
+  for (std::size_t i = 0; i < 5; ++i) shards[i] = data[i];
+  auto out = rs.decode(shards);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+
+  shards[3].reset();  // nothing to repair from
+  EXPECT_FALSE(rs.decode(shards).has_value());
+}
+
+TEST(ReedSolomon, ErasureFuzzRandomSubsets) {
+  // Fuzz the paper geometry: random k-of-n subsets always roundtrip, any
+  // (k-1)-subset always fails, and whichever data shards survive pass
+  // through unmodified (systematic passthrough) on every decode.
+  Rng rng(13);
+  const std::size_t k = 21, m = 6, n = k + m;
+  ReedSolomon rs(k, m);
+  auto data = random_shards(k, 12, rng);
+  auto parity = rs.encode(data);
+  auto full = [&](std::size_t i) -> const std::vector<std::uint8_t>& {
+    return i < k ? data[i] : parity[i - k];
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const bool should_decode = trial % 2 == 0;
+    const std::size_t keep = should_decode ? k + rng.below(m + 1) : k - 1;
+    std::vector<std::uint32_t> kept;
+    rng.sample_indices(n, keep, kept);
+    std::vector<std::optional<std::vector<std::uint8_t>>> shards(n);
+    for (auto i : kept) shards[i] = full(i);
+
+    auto out = rs.decode(shards);
+    if (should_decode) {
+      ASSERT_TRUE(out.has_value()) << "trial " << trial << " keep=" << keep;
+      EXPECT_EQ(*out, data);
+    } else {
+      EXPECT_FALSE(out.has_value()) << "trial " << trial;
+      // Systematic passthrough: the raw data shards that arrived are usable
+      // as-is even though the window cannot be decoded.
+      for (auto i : kept) {
+        if (i < k) EXPECT_EQ(*shards[i], data[i]);
+      }
+    }
+  }
+}
+
 TEST(ReedSolomon, EncodeIsLinear) {
   // parity(a XOR b) == parity(a) XOR parity(b) — linearity of the code.
   Rng rng(10);

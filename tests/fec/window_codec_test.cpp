@@ -73,6 +73,69 @@ TEST(WindowCodec, UndecodableBelowThreshold) {
   EXPECT_FALSE(codec.decode_window(received).has_value());
 }
 
+TEST(WindowCodecDeathTest, RejectsInvalidConfigsUpFront) {
+  // Validation happens in the codec's own ctor, before ReedSolomon is
+  // built, with messages naming the codec contract.
+  EXPECT_DEATH(WindowCodec(WindowCodecConfig{.data_per_window = 200,
+                                             .parity_per_window = 56,
+                                             .packet_bytes = 100}),
+               "at most 255 packets");
+  EXPECT_DEATH(WindowCodec(WindowCodecConfig{.data_per_window = 7,
+                                             .parity_per_window = 3,
+                                             .packet_bytes = 0}),
+               "packet_bytes");
+  EXPECT_DEATH(WindowCodec(WindowCodecConfig{.data_per_window = 0,
+                                             .parity_per_window = 3,
+                                             .packet_bytes = 100}),
+               "at least one data packet");
+}
+
+TEST(WindowCodec, ParityFreeCodecNeedsEveryPacket) {
+  // parity == 0 is the retransmission-only ablation arm: nothing is
+  // repairable, so the window decodes iff every (data) packet arrived, and
+  // decodable() stays clamped to the window size.
+  Rng rng(4);
+  const WindowCodecConfig cfg{.data_per_window = 5, .parity_per_window = 0, .packet_bytes = 64};
+  WindowCodec codec(cfg);
+  EXPECT_EQ(codec.window_packets(), 5u);
+  EXPECT_FALSE(codec.decodable(4));
+  EXPECT_TRUE(codec.decodable(5));
+  EXPECT_TRUE(codec.decodable(6));  // overcount clamps to the window size
+
+  auto data = random_window(cfg, rng);
+  EXPECT_TRUE(codec.encode_window(data).empty());
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(codec.window_packets());
+  for (std::size_t i = 0; i < cfg.data_per_window; ++i) received[i] = data[i];
+  auto out = codec.decode_window(received);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+
+  received[2].reset();  // one missing packet is unrecoverable without parity
+  EXPECT_FALSE(codec.decode_window(received).has_value());
+}
+
+TEST(WindowCodec, DecodeRejectsMixedLengthShards) {
+  // Shards come off the wire: a wrong-length shard must make the decode
+  // fail cleanly (nullopt), never abort or produce a malformed window.
+  Rng rng(5);
+  const auto cfg = small_config();
+  WindowCodec codec(cfg);
+  auto data = random_window(cfg, rng);
+  auto parity = codec.encode_window(data);
+
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(codec.window_packets());
+  for (std::size_t i = 0; i < cfg.data_per_window; ++i) received[i] = data[i];
+  received[2]->pop_back();  // all-data fast path sees a short shard
+  EXPECT_FALSE(codec.decode_window(received).has_value());
+
+  received[2] = data[2];  // restore, then break the reconstruction path
+  received[0].reset();
+  received[cfg.data_per_window] = parity[0];
+  received[cfg.data_per_window]->push_back(0);
+  EXPECT_FALSE(codec.decode_window(received).has_value());
+}
+
 TEST(WindowCodec, SystematicPacketsPassThrough) {
   // Even an undecodable window yields whatever raw data packets arrived —
   // the property behind the paper's "delivery ratio in jittered windows".

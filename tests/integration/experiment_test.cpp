@@ -213,6 +213,107 @@ TEST(Experiment, VirtualPayloadRunIsClockIdenticalToSizedRun) {
   }
 }
 
+TEST(Experiment, VirtualRunsStayClockIdenticalAcrossParityLevels) {
+  // The FEC ablation sweeps parity_per_window; virtual-payload accounting
+  // identity (same wire bytes, meters, RNG draws) must hold at every parity
+  // level — including the parity-free retransmission-only arm — or the
+  // 10k/100k ablation rungs measure an artifact.
+  for (const std::size_t parity : {std::size_t{0}, std::size_t{5}}) {
+    auto base = small_cfg(core::Mode::kHeap, BandwidthDistribution::ref691(),
+                          /*nodes=*/50, /*windows=*/3);
+    base.stream.parity_per_window = parity;
+    if (parity == 0) base.max_retransmits = 8;  // the rtx-only arm
+    Experiment sized(base);
+    sized.run();
+
+    auto virt_cfg = base;
+    virt_cfg.virtual_payloads = true;
+    virt_cfg.lean_players = true;
+    Experiment virt(virt_cfg);
+    virt.run();
+
+    ASSERT_EQ(sized.receivers(), virt.receivers());
+    EXPECT_EQ(sized.simulator().events_executed(), virt.simulator().events_executed())
+        << "parity " << parity;
+    EXPECT_EQ(sized.fabric().datagrams_delivered(), virt.fabric().datagrams_delivered())
+        << "parity " << parity;
+    for (std::size_t i = 0; i < sized.receivers(); ++i) {
+      EXPECT_EQ(sized.meter(i).total_sent_bytes(), virt.meter(i).total_sent_bytes())
+          << "parity " << parity << " node " << i;
+      EXPECT_EQ(sized.player(i).packets_received(), virt.player(i).packets_received())
+          << "parity " << parity << " node " << i;
+      for (std::uint32_t w = 0; w < 3; ++w) {
+        EXPECT_EQ(sized.player(i).window(w).decode_time,
+                  virt.player(i).window(w).decode_time)
+            << "parity " << parity << " node " << i << " w" << w;
+      }
+    }
+  }
+}
+
+TEST(Experiment, FecModuleDecodesOnlineInRealPayloadDeployments) {
+  // The deployment mounts FecModule on every receiver in real-payload mode;
+  // its online decode must agree window-for-window with the player's
+  // counting rule, repair actual erasures under loss, and never see a
+  // malformed shard set from our own wire path.
+  auto cfg = small_cfg(core::Mode::kHeap, BandwidthDistribution::ref691(),
+                       /*nodes=*/40, /*windows=*/3);
+  cfg.stream.real_payloads = true;
+  cfg.loss_rate = 0.02;  // enough loss that parity repair actually happens
+  Experiment exp(cfg);
+  exp.run();
+
+  std::uint64_t decoded = 0, repaired = 0;
+  for (std::size_t i = 0; i < exp.receivers(); ++i) {
+    const auto* fec = exp.node(i).find_module<stream::FecModule>();
+    ASSERT_NE(fec, nullptr) << "receiver " << i << " is missing the FEC module";
+    const auto& st = fec->stats();
+    EXPECT_EQ(st.decode_failures, 0u) << i;
+    EXPECT_EQ(st.malformed_packets, 0u) << i;
+    decoded += st.windows_decoded;
+    repaired += st.erasures_repaired;
+    for (std::uint32_t w = 0; w < 3; ++w) {
+      EXPECT_EQ(fec->window_decoded(w),
+                exp.player(i).window(w).decode_time != sim::SimTime::max())
+          << "receiver " << i << " window " << w;
+    }
+  }
+  // Nearly every (receiver, window) pair decodes, and at least some decodes
+  // had to reconstruct data packets from parity.
+  EXPECT_GT(decoded, static_cast<std::uint64_t>(exp.receivers()) * 3u * 9u / 10u);
+  EXPECT_GT(repaired, 0u);
+}
+
+TEST(Experiment, SmartReceiverCancellationReachesTheGossipEngine) {
+  // Decode-on-k cancellation observability: smart receivers cancel each
+  // window once it is decodable, and the gossip stats record both the
+  // honored cancel commands and any retransmit timers they killed.
+  auto cfg = small_cfg(core::Mode::kHeap, BandwidthDistribution::ref691(),
+                       /*nodes=*/40, /*windows=*/3);
+  Experiment exp(cfg);
+  exp.run();
+
+  std::uint64_t cancelled = 0;
+  for (std::size_t i = 0; i < exp.receivers(); ++i) {
+    const auto& st = exp.node(i).module<gossip::GossipModule>().engine().stats();
+    cancelled += st.windows_cancelled;
+    EXPECT_LE(st.windows_cancelled, 3u) << i;  // once per window, idempotent
+  }
+  // Nearly every receiver decodes (and therefore cancels) every window.
+  EXPECT_GT(cancelled, static_cast<std::uint64_t>(exp.receivers()) * 3u * 9u / 10u);
+
+  auto dumb_cfg = cfg;
+  dumb_cfg.smart_receivers = false;
+  Experiment dumb(dumb_cfg);
+  dumb.run();
+  std::uint64_t dumb_cancelled = 0;
+  for (std::size_t i = 0; i < dumb.receivers(); ++i) {
+    dumb_cancelled +=
+        dumb.node(i).module<gossip::GossipModule>().engine().stats().windows_cancelled;
+  }
+  EXPECT_EQ(dumb_cancelled, 0u);  // nothing cancels without smart receivers
+}
+
 TEST(Experiment, RealPayloadsDecodeByteExact) {
   // Full fidelity mode: actual Reed-Solomon windows flow through the whole
   // stack; verify a receiver can reconstruct the exact source bytes.

@@ -1,0 +1,135 @@
+// FecModule: online decode-on-k-of-n over the node's delivery signal.
+#include "stream/fec_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stream/packet.hpp"
+
+namespace hg::stream {
+namespace {
+
+StreamConfig small_stream() {
+  StreamConfig cfg;
+  cfg.data_per_window = 5;
+  cfg.parity_per_window = 3;
+  cfg.packet_bytes = 64;
+  cfg.real_payloads = true;
+  return cfg;
+}
+
+struct Rig {
+  sim::Simulator sim{7};
+  net::NetworkFabric fabric;
+  membership::Directory directory;
+  std::unique_ptr<core::NodeRuntime> node;
+  FecModule* fec = nullptr;
+
+  explicit Rig(StreamConfig cfg, std::uint32_t windows)
+      : fabric(sim, std::make_unique<net::ConstantLatency>(sim::SimTime::ms(1)),
+               std::make_unique<net::NoLoss>()),
+        directory(sim, membership::DetectionConfig{}) {
+    directory.add_node(NodeId{0});
+    node = core::NodeRuntime::make(sim, fabric, directory, NodeId{0}, core::NodeConfig{});
+    fec = &node->emplace_module<FecModule>(cfg, windows);
+  }
+
+  void deliver(std::uint32_t w, std::uint16_t i, const std::vector<std::uint8_t>& bytes) {
+    node->deliveries().emit(
+        gossip::Event{gossip::EventId{w, i}, net::BufferRef::copy_of(bytes)});
+  }
+};
+
+// One window's packets: data synthesized per id, parity RS-encoded — the
+// exact bytes StreamSource publishes in real-payload mode.
+struct CodedWindow {
+  std::vector<std::vector<std::uint8_t>> data;
+  std::vector<std::vector<std::uint8_t>> parity;
+
+  CodedWindow(const StreamConfig& cfg, std::uint32_t w) {
+    for (std::uint16_t i = 0; i < cfg.data_per_window; ++i) {
+      data.push_back(synth_payload_bytes(w, i, cfg.packet_bytes));
+    }
+    fec::WindowCodec codec(fec::WindowCodecConfig{.data_per_window = cfg.data_per_window,
+                                                  .parity_per_window = cfg.parity_per_window,
+                                                  .packet_bytes = cfg.packet_bytes});
+    parity = codec.encode_window(data);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& packet(const StreamConfig& cfg,
+                                                        std::uint16_t i) const {
+    return i < cfg.data_per_window ? data[i] : parity[i - cfg.data_per_window];
+  }
+};
+
+TEST(FecModule, DecodesAtTheKthArrivalAndRepairsErasures) {
+  const auto cfg = small_stream();
+  Rig rig(cfg, 2);
+  CodedWindow win(cfg, 0);
+
+  std::uint32_t sink_calls = 0;
+  rig.fec->set_window_sink(
+      [&](std::uint32_t w, std::span<const std::vector<std::uint8_t>> decoded) {
+        ++sink_calls;
+        EXPECT_EQ(w, 0u);
+        ASSERT_EQ(decoded.size(), cfg.data_per_window);
+        for (std::uint16_t i = 0; i < cfg.data_per_window; ++i) {
+          EXPECT_EQ(decoded[i], win.data[i]) << "packet " << i;
+        }
+      });
+
+  // Data packets 1 and 3 are lost; parity 0 and 2 stand in. Exactly k = 5
+  // packets arrive, decode must fire on the last one and not before.
+  const std::uint16_t arrivals[] = {0, 2, 5, 4, 7};
+  for (std::size_t a = 0; a < std::size(arrivals); ++a) {
+    EXPECT_FALSE(rig.fec->window_decoded(0));
+    rig.deliver(0, arrivals[a], win.packet(cfg, arrivals[a]));
+  }
+  EXPECT_TRUE(rig.fec->window_decoded(0));
+  EXPECT_EQ(sink_calls, 1u);
+  EXPECT_EQ(rig.fec->stats().windows_decoded, 1u);
+  EXPECT_EQ(rig.fec->stats().erasures_repaired, 2u);  // data packets 1 and 3
+  EXPECT_EQ(rig.fec->stats().windows_complete, 0u);
+  EXPECT_EQ(rig.fec->stats().decode_failures, 0u);
+
+  // Late arrivals to a decoded window are no-ops.
+  rig.deliver(0, 1, win.packet(cfg, 1));
+  EXPECT_EQ(sink_calls, 1u);
+  EXPECT_EQ(rig.fec->stats().windows_decoded, 1u);
+}
+
+TEST(FecModule, AllDataWindowNeedsNoRepair) {
+  const auto cfg = small_stream();
+  Rig rig(cfg, 1);
+  CodedWindow win(cfg, 0);
+  for (std::uint16_t i = 0; i < cfg.data_per_window; ++i) {
+    rig.deliver(0, i, win.data[i]);
+  }
+  EXPECT_TRUE(rig.fec->window_decoded(0));
+  EXPECT_EQ(rig.fec->stats().windows_decoded, 1u);
+  EXPECT_EQ(rig.fec->stats().windows_complete, 1u);
+  EXPECT_EQ(rig.fec->stats().erasures_repaired, 0u);
+}
+
+TEST(FecModule, IgnoresDuplicatesMalformedAndOutOfRange) {
+  const auto cfg = small_stream();
+  Rig rig(cfg, 1);
+  CodedWindow win(cfg, 0);
+
+  rig.deliver(0, 0, win.data[0]);
+  rig.deliver(0, 0, win.data[0]);  // duplicate: not counted twice
+  rig.deliver(0, 1, std::vector<std::uint8_t>(cfg.packet_bytes - 1, 9));  // short
+  rig.deliver(7, 0, win.data[0]);  // window beyond the stream: ignored
+  EXPECT_EQ(rig.fec->stats().malformed_packets, 1u);
+  EXPECT_FALSE(rig.fec->window_decoded(0));
+
+  // The short packet was dropped, so index 1 is still repairable: complete
+  // the window with the real remaining packets plus one parity.
+  for (std::uint16_t i = 2; i < cfg.data_per_window; ++i) rig.deliver(0, i, win.data[i]);
+  rig.deliver(0, 5, win.packet(cfg, 5));
+  EXPECT_TRUE(rig.fec->window_decoded(0));
+  EXPECT_EQ(rig.fec->stats().erasures_repaired, 1u);
+  EXPECT_EQ(rig.fec->stats().decode_failures, 0u);
+}
+
+}  // namespace
+}  // namespace hg::stream
